@@ -1,0 +1,27 @@
+# Convenience targets for the repro library.
+
+PY ?= python3
+
+.PHONY: install test bench experiments examples experiments-md clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PY) -m repro.experiments.runner all
+
+experiments-md:
+	$(PY) scripts/generate_experiments_md.py
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PY) $$f || exit 1; done
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis build dist *.egg-info

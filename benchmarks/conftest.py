@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's figures (or an ablation)
+with ``pytest-benchmark`` timing a single full run (rounds=1 — these are
+minutes-scale simulations, not microbenchmarks), then asserts the
+figure's *shape*: who wins, by roughly what factor, where crossovers
+fall.  Absolute waiting times differ from the paper (synthetic trace,
+scaled workload — see EXPERIMENTS.md).
+
+Environment knobs:
+
+- ``REPRO_BENCH_SCALE`` (default 25): workload scale passed to the
+  experiment harnesses; smaller = closer to paper volume but slower.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "25"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time one full execution of ``fn`` and return its result.
+
+    Results carrying a ``render()`` (the experiment harnesses) are also
+    appended to ``benchmarks/results.txt`` so the regenerated figure
+    tables survive pytest's output capture.
+    """
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    if hasattr(result, "render"):
+        with open(RESULTS_PATH, "a") as fh:
+            fh.write(result.render() + "\n\n")
+    return result

@@ -1,0 +1,43 @@
+"""Ablation: exact subset-DP vs DFS oracle vs walk approximation for T^(m).
+
+The transitive coefficients are recomputed whenever the agreement
+structure changes; this bench quantifies the cost of exactness at the
+paper's scale (n = 10) and beyond, and verifies the approximation's
+upper-bound property.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agreements.flow import transitive_coefficients
+
+
+def random_S(n, seed=0, scale=None):
+    rng = np.random.default_rng(seed)
+    S = rng.random((n, n)) * (scale if scale is not None else 0.9 / n)
+    np.fill_diagonal(S, 0.0)
+    return S
+
+
+@pytest.mark.parametrize("method", ["dp", "dfs", "walk"])
+def test_flow_method_speed_n10(benchmark, method):
+    S = random_S(10)
+    T = benchmark(transitive_coefficients, S, None, method)
+    assert T.shape == (10, 10)
+
+
+@pytest.mark.parametrize("method", ["dp", "walk"])
+def test_flow_method_speed_n14(benchmark, method):
+    S = random_S(14)
+    T = benchmark(transitive_coefficients, S, None, method)
+    assert T.shape == (14, 14)
+
+
+def test_walk_bounds_exact_everywhere():
+    for n in (6, 10):
+        S = random_S(n, seed=3)
+        exact = transitive_coefficients(S, None, "dp")
+        walk = transitive_coefficients(S, n - 1, "walk")
+        assert np.all(walk >= exact - 1e-12)
+        # On these weakly coupled graphs the bound is tight-ish.
+        assert np.all(walk <= exact * 1.5 + 1e-9)

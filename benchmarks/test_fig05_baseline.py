@@ -1,0 +1,38 @@
+"""Figure 5: diurnal load and waiting time without sharing.
+
+Paper: load peaks around midnight, troughs in the early morning; the
+average waiting time peaks with the load at ~250 s.  Shape asserted: the
+wait curve is strongly diurnal (peak orders of magnitude above trough)
+and its peak falls within a few hours of the load peak.
+"""
+
+import numpy as np
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig05
+
+
+def test_fig05_no_sharing_baseline(benchmark):
+    result = run_once(benchmark, fig05.run, scale=BENCH_SCALE)
+    print("\n" + result.render())
+
+    waits = result.series["mean_wait"]
+    counts = result.series["requests_per_slot"]
+    hours = result.series["slot_hours"]
+
+    # Load shape: heaviest near midnight (22h-01h), lightest early morning.
+    load_peak_hour = hours[int(counts.argmax())]
+    load_trough_hour = hours[int(np.argmin(np.where(counts > 0, counts, np.inf)))]
+    assert load_peak_hour > 20.5 or load_peak_hour < 1.5
+    assert 3.0 <= load_trough_hour <= 9.0
+
+    # Waits peak with the load, much higher than the quiet hours.
+    peak_wait = waits.max()
+    trough_wait = np.percentile(waits[counts > 0], 10)
+    assert peak_wait > 50.0, "no-sharing peak must be deep in overload"
+    assert peak_wait > 20.0 * max(trough_wait, 1e-9)
+
+    # The wait peak lags the load peak by at most a few hours.
+    wait_peak_hour = hours[int(waits.argmax())]
+    lag = (wait_peak_hour - load_peak_hour) % 24.0
+    assert lag <= 6.0

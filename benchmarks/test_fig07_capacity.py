@@ -1,0 +1,36 @@
+"""Figure 7: sharing vs increased standalone capacity.
+
+Paper: 25-35% more resources are required to match the performance
+obtained by resource sharing.  Matching is judged on peak-slot waiting
+time (see `repro.experiments.fig07`).  Shape asserted: capacity 1.0
+without sharing is far worse than sharing; 10% extra capacity is not
+enough; the crossover needs a >= 20% capacity investment.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig07
+
+
+def test_fig07_capacity_sweep(benchmark):
+    result = run_once(
+        benchmark, fig07.run, scale=BENCH_SCALE,
+        factors=(1.0, 1.1, 1.2, 1.3, 1.4, 1.5),
+    )
+    print("\n" + result.render())
+
+    share = result.row_by(config="sharing @ capacity 1.0")["worst_slot_wait_s"]
+    none_rows = [r for r in result.rows if r["config"] == "no sharing"]
+    by_cap = {r["capacity"]: r["worst_slot_wait_s"] for r in none_rows}
+
+    # Sharing at 1.0 crushes no-sharing at 1.0 at the peak.
+    assert share < by_cap[1.0] / 5.0
+
+    # More standalone capacity helps a lot by the top of the sweep.
+    assert by_cap[1.5] < by_cap[1.0] / 10.0
+
+    # The crossover needs a real capacity investment (paper: 25-35%).
+    assert by_cap[1.1] > share, "10% extra capacity must NOT match sharing"
+    crossover = next(
+        (c for c in sorted(by_cap) if by_cap[c] <= share), None
+    )
+    assert crossover is None or crossover >= 1.2

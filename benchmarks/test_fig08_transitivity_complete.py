@@ -1,0 +1,41 @@
+"""Figure 8: transitivity levels on the complete agreement graph.
+
+Paper: "resource sharing helps but the incremental improvement by
+considering indirect transitive agreements is small" — every server is
+already directly reachable.  Shape asserted: every level beats
+no-sharing by a large factor, and deeper levels change the result only
+modestly relative to that gain.
+"""
+
+import numpy as np
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig08
+
+
+def test_fig08_levels_complete_graph(benchmark):
+    result = run_once(
+        benchmark, fig08.run, scale=BENCH_SCALE, levels=(1, 2, 3, 9),
+    )
+    print("\n" + result.render())
+
+    base = result.row_by(level="none")["worst_slot_wait_s"]
+    waits = {
+        row["level"]: row["worst_slot_wait_s"]
+        for row in result.rows
+        if row["level"] != "none"
+    }
+
+    # Sharing helps dramatically at every level.
+    for level, worst in waits.items():
+        assert worst < base / 5.0, f"level {level} must beat no-sharing"
+
+    # Incremental transitive benefit is small: the spread across levels is
+    # tiny compared to the no-sharing gap.
+    values = np.array(list(waits.values()))
+    spread = values.max() - values.min()
+    gain = base - values.max()
+    assert spread < 0.35 * gain, (
+        f"levels should be nearly equivalent on a complete graph "
+        f"(spread {spread:.1f}s vs gain {gain:.1f}s)"
+    )

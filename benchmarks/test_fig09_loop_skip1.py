@@ -1,0 +1,31 @@
+"""Figure 9: loop structure, donor one time zone away (skip=1, 80% share).
+
+Paper: worst-case waiting time is 35 s with direct agreements only
+(level=1) — the donor is busy whenever the requester is — and drops to
+~2 s once three or more levels of transitive agreements are enforced.
+Shape asserted: level >= 3 clearly beats level 1, and everything beats
+no-sharing.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig08, fig09_11
+
+
+def test_fig09_loop_skip1(benchmark):
+    result = run_once(
+        benchmark, fig09_11.run, scale=BENCH_SCALE, skips=(1,),
+        levels=(1, 2, 3, 9), seeds=(0, 1),
+    )
+    print("\n" + result.render())
+
+    waits = {
+        row["level"]: row["worst_slot_wait_s"] for row in result.rows
+    }
+    # Transitivity pays when the only direct donor shares your rush hour.
+    assert waits[3] < waits[1] * 0.8, (
+        f"level 3 ({waits[3]:.1f}s) should clearly beat level 1 "
+        f"({waits[1]:.1f}s) on the skip-1 loop"
+    )
+    assert waits[9] < waits[1]
+    # Deeper transitivity adds little beyond level 3 (paper: converged).
+    assert abs(waits[9] - waits[3]) < 0.5 * waits[3] + 5.0

@@ -1,0 +1,31 @@
+"""Figure 10: loop structure, donor three time zones away (skip=3).
+
+Paper: level-1 worst-case wait drops from 35 s (skip=1) to 7 s here —
+the donor is already well past its own rush hour — and level >= 3
+converges to ~2 s.  Shape asserted: skip-3 level-1 beats skip-1 level-1,
+and transitive levels are at least as good as direct-only.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig09_11
+
+
+def test_fig10_loop_skip3(benchmark):
+    result = run_once(
+        benchmark, fig09_11.run, scale=BENCH_SCALE, skips=(1, 3),
+        levels=(1, 3), seeds=(0, 1),
+    )
+    print("\n" + result.render())
+
+    def worst(skip, level):
+        return result.row_by(skip=skip, level=level)["worst_slot_wait_s"]
+
+    # The paper's headline for this figure: a donor 3 zones away is far
+    # more useful than a neighbouring one when only direct agreements count.
+    assert worst(3, 1) < worst(1, 1) * 0.8
+
+    # Transitivity cannot make skip-3 worse by much, and the converged
+    # (level-3) waits of both loops should be in the same ballpark.
+    assert worst(3, 3) < worst(3, 1) * 1.5 + 5.0
+    assert worst(3, 3) < worst(1, 1)
+    assert abs(worst(3, 3) - worst(1, 3)) < max(worst(1, 3), worst(3, 3))

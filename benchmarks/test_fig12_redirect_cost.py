@@ -1,0 +1,32 @@
+"""Figure 12: redirection cost has negligible impact.
+
+Paper: fixed per-redirect overheads equal to 1x / 2x the average
+processing time leave the average waiting time essentially unchanged,
+because < 1.5% of requests are redirected overall (< 6% at peak).  Shape
+asserted: the three cost curves stay within a modest factor of each
+other, and redirection remains a minority of traffic.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig12
+
+
+def test_fig12_redirect_cost(benchmark):
+    result = run_once(benchmark, fig12.run, scale=BENCH_SCALE)
+    print("\n" + result.render())
+
+    by_cost = {r["cost_multiplier"]: r for r in result.rows}
+
+    free = by_cost[0.0]["mean_wait_s"]
+    single = by_cost[1.0]["mean_wait_s"]
+    double = by_cost[2.0]["mean_wait_s"]
+
+    # "Negligible impact": costs comparable to a service time change the
+    # mean wait by far less than the sharing benefit itself.
+    assert single < free * 2.0 + 2.0
+    assert double < free * 2.5 + 2.0
+
+    # Redirection is a minority of traffic (the reason the cost is cheap).
+    for row in result.rows:
+        assert row["redirected_frac"] < 0.5
+        assert row["peak_redirected_frac"] <= 1.0

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Analysing agreement structures: reachability, exposure, dependency.
+
+Builds the paper's three taxonomy structures (complete, sparse,
+hierarchical) plus the case study's loop, and reports for each what the
+analysis module can tell an operator: who can reach whom, how exposed
+each donor is, how dependent each participant is on others, and how
+quickly transitive chains decay ("exponential decrease in the amount of
+resources accessible along the chain").
+
+Run:  python examples/agreement_analysis.py
+"""
+
+from repro.agreements import (
+    chain_contributions,
+    complete_structure,
+    dependency,
+    donor_set,
+    exposure,
+    hierarchical_structure,
+    loop_structure,
+    reachable_set,
+    sparse_structure,
+    summarize,
+)
+
+
+def main() -> None:
+    structures = {
+        "complete (10 ISPs, 10%)": complete_structure(10, 0.1),
+        "sparse (20 nodes, degree 3)": sparse_structure(20, degree=3, seed=1),
+        "hierarchical (4 groups of 5)": hierarchical_structure(4, 5),
+        "loop skip=1 (80%)": loop_structure(10, 0.8, skip=1),
+        "loop skip=3 (80%)": loop_structure(10, 0.8, skip=3),
+    }
+
+    print(f"{'structure':32s} {'edges':>5} {'density':>8} {'gain':>6} {'maxdep':>7}")
+    for name, system in structures.items():
+        s = summarize(system)
+        print(
+            f"{name:32s} {s.edges:>5d} {s.density:>8.2f} "
+            f"{s.mean_capacity_gain:>5.2f}x {s.max_dependency:>7.2f}"
+        )
+
+    loop = structures["loop skip=1 (80%)"]
+    print("\nLoop skip=1, viewed from isp5:")
+    print(f"  reachable donors (full closure): {reachable_set(loop, 'isp5')}")
+    print(f"  reachable at level 1 only:       {reachable_set(loop, 'isp5', level=1)}")
+    print(f"  beneficiaries of isp5:           {donor_set(loop, 'isp5')}")
+    print(f"  exposure of isp5:                {exposure(loop, 'isp5'):.2f}")
+    print(f"  dependency of isp5:              {dependency(loop, 'isp5'):.2f}")
+
+    print("\nChain decay isp5 -> isp9 (4 hops of 80% each):")
+    for level, marginal in chain_contributions(loop, "isp5", "isp9"):
+        print(f"  level {level}: +{marginal:.4f}  (0.8^{level} = {0.8 ** level:.4f})")
+
+    print(
+        "\nThe exponential decay is why the paper observes that 'considering"
+        "\nlonger chains of agreements yields small incremental benefit'."
+    )
+
+    # ------------------------------------------------------------------
+    # The inverse problem: draft agreements from capacity targets.
+    # ------------------------------------------------------------------
+    from repro.agreements import suggest_shares
+
+    print("\nNegotiation aid: four sites, uneven capacity, equal targets.")
+    V = [16.0, 8.0, 4.0, 0.0]
+    targets = [16.0, 8.0, 6.0, 4.0]
+    drafted = suggest_shares(["hub", "mid", "edge", "new"], V, targets)
+    print(f"  capacities V = {V}, targets = {targets}")
+    for i, p in enumerate(drafted.principals):
+        row = {
+            drafted.principals[j]: round(float(drafted.S[i, j]), 3)
+            for j in range(drafted.n)
+            if drafted.S[i, j] > 1e-9
+        }
+        if row:
+            print(f"  {p} shares {row}")
+    print(f"  resulting level-1 capacities: "
+          f"{[round(float(c), 2) for c in drafted.capacities(1)]}")
+
+
+if __name__ == "__main__":
+    main()

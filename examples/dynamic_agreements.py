@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Dynamically changing agreements: revocation mid-day, enforced globally.
+
+The paper stresses that "agreements must be enforced in the presence of
+heterogeneous resource types and dynamically changing user set and
+resource availability".  This example runs the proxy case study while the
+agreement set changes twice during the measured day:
+
+- 00:00-08:00  complete 10% sharing (business as usual);
+- 08:00-16:00  ISP 0's partners revoke their tickets (it becomes a pariah:
+               it still *donates*, but can no longer borrow);
+- 16:00-24:00  agreements restored.
+
+Watch ISP 0's hourly waits spike exactly while it is cut off.
+
+Run:  python examples/dynamic_agreements.py        (~30 s)
+"""
+
+import numpy as np
+
+from repro.agreements import AgreementSystem, complete_structure
+from repro.proxysim import ProxySimulation, SimulationConfig
+
+
+def pariah_structure(n: int, share: float, outcast: int) -> AgreementSystem:
+    """Complete graph where nobody shares *with* ``outcast`` any more."""
+    base = complete_structure(n, share)
+    S = base.S.copy()
+    S[:, outcast] = 0.0  # inbound agreements revoked
+    return AgreementSystem(base.principals, base.V, S)
+
+
+def main() -> None:
+    n, share = 10, 0.1
+    normal = complete_structure(n, share)
+    pariah = pariah_structure(n, share, outcast=0)
+
+    cfg = SimulationConfig.scaled(scale=50, scheme="lp", gap=3600.0)
+    day = 86_400.0
+    sim = ProxySimulation(
+        cfg,
+        normal,
+        system_updates=[
+            (cfg.measure_start + 8 * 3600.0, pariah),   # 08:00 revoked
+            (cfg.measure_start + 16 * 3600.0, normal),  # 16:00 restored
+        ],
+    )
+    result = sim.run()
+
+    waits = result.mean_wait_series(0)
+    hours = result.slot_times() / 3600.0
+    print("ISP 0 mean wait by 2-hour bucket (agreements revoked 08:00-16:00):")
+    for h in range(0, 24, 2):
+        mask = (hours >= h) & (hours < h + 2)
+        flag = "  <- revoked" if 8 <= h < 16 else ""
+        print(f"  {h:02d}:00-{h + 2:02d}:00  {float(np.mean(waits[mask])):8.2f} s{flag}")
+
+    print(f"\nsummary: {result.summary()}")
+    print(
+        "\nISP 0 peaks near midnight, so the revocation window (08:00-16:00)\n"
+        "hurts it most where its local load still exceeds capacity; the other\n"
+        "ISPs keep sharing among themselves throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

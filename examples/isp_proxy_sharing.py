@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The case study in miniature: ISP web proxies sharing capacity.
+
+Runs the Section-4 simulation three ways — no sharing, LP-enforced
+sharing on a complete 10% agreement graph, and the availability-blind
+endpoint baseline — and prints an hour-by-hour waiting-time table for
+ISP 0 plus the summary comparison.
+
+Run:  python examples/isp_proxy_sharing.py        (~1 minute)
+      python examples/isp_proxy_sharing.py fast   (smaller workload)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.agreements import complete_structure
+from repro.proxysim import SimulationConfig, run_simulation
+
+
+def main() -> None:
+    fast = len(sys.argv) > 1 and sys.argv[1] == "fast"
+    scale = 80.0 if fast else 25.0
+    system = complete_structure(10, share=0.1)
+
+    results = {}
+    for scheme in ("none", "lp", "endpoint"):
+        cfg = SimulationConfig.scaled(scale=scale, scheme=scheme, gap=3600.0)
+        results[scheme] = run_simulation(
+            cfg, system if scheme != "none" else None
+        )
+        print(f"[{scheme}] {results[scheme].summary()}")
+
+    print("\nMean waiting time at ISP 0 by hour of day (seconds):")
+    print(f"{'hour':>4} {'no sharing':>12} {'LP sharing':>12} {'endpoint':>12}")
+    slot_hours = results["none"].slot_times() / 3600.0
+    series = {k: r.mean_wait_series(0) for k, r in results.items()}
+    for hour in range(24):
+        mask = (slot_hours >= hour) & (slot_hours < hour + 1)
+        row = [float(np.mean(series[k][mask])) for k in ("none", "lp", "endpoint")]
+        print(f"{hour:>4} {row[0]:>12.2f} {row[1]:>12.2f} {row[2]:>12.2f}")
+
+    none_peak = results["none"].worst_case_wait(0)
+    lp_peak = results["lp"].worst_case_wait(0)
+    print(
+        f"\nWorst 10-minute slot at ISP 0: {none_peak:.0f}s without sharing "
+        f"vs {lp_peak:.1f}s with LP-enforced agreements "
+        f"({none_peak / max(lp_peak, 1e-9):.0f}x better)."
+    )
+    print(
+        f"Redirected requests under LP: "
+        f"{100 * results['lp'].redirect_fraction():.1f}% of all traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

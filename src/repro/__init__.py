@@ -1,0 +1,31 @@
+"""repro — reproduction of Zhao & Karamcheti, *Expressing and Enforcing
+Distributed Resource Sharing Agreements* (SC 2000).
+
+The library has three layers:
+
+1. **Expression** (:mod:`repro.economy`, :mod:`repro.agreements`): tickets
+   and currencies for representing resource capacity and sharing
+   agreements; agreement matrices, structure generators, and the transitive
+   flow computation (``I^(m)``, ``T^(m)``, capacities ``C_i``).
+2. **Enforcement** (:mod:`repro.lp`, :mod:`repro.allocation`,
+   :mod:`repro.manager`): the Section-3.1 linear program that allocates a
+   request while minimally perturbing global availability, plus the
+   GRM/LRM manager architecture.
+3. **Case study** (:mod:`repro.des`, :mod:`repro.workload`,
+   :mod:`repro.proxysim`, :mod:`repro.experiments`): the ISP web-proxy
+   simulation reproducing the paper's Figures 5–13.
+
+Quickstart::
+
+    from repro.economy import Bank
+    bank = Bank()
+    a = bank.create_currency("A")
+    b = bank.create_currency("B")
+    bank.deposit_capacity("A", 10.0)            # A owns 10 units
+    bank.issue_relative_ticket("A", "B", 500)   # A shares with B
+    print(bank.currency_value("B"))
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

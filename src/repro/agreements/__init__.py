@@ -1,0 +1,67 @@
+"""Agreement matrices and the transitive flow computation (Section 3).
+
+- :class:`~repro.agreements.matrix.AgreementSystem` — principals, raw
+  capacities ``V``, relative matrix ``S`` and absolute matrix ``A`` with the
+  paper's validity constraints, plus cached flow/capacity queries;
+- :mod:`~repro.agreements.flow` — the flow coefficients ``T^(m)``
+  (sums over acyclic agreement chains of at most ``m`` hops), flows
+  ``I^(m) = V_i T^(m)_ij``, overdraft clamping ``K^(m)``, absolute-ticket
+  clamping ``U``, and effective capacities ``C_i``;
+- :mod:`~repro.agreements.structures` — generators for the structures the
+  paper names (complete, sparse, hierarchical) and the case study's loop
+  with skip and distance-decay graphs;
+- :mod:`~repro.agreements.analysis` — reachability, exposure and
+  dependency reports over agreement graphs (the multigrid *allocator*
+  lives in :mod:`repro.allocation.hierarchical`).
+"""
+
+from .analysis import (
+    StructureSummary,
+    chain_contributions,
+    dependency,
+    donor_set,
+    exposure,
+    reachable_set,
+    summarize,
+)
+from .graph_export import from_networkx, to_networkx
+from .flow import (
+    capacities,
+    flow_matrix,
+    overdraft_clamp,
+    transitive_coefficients,
+    u_matrix,
+)
+from .matrix import AgreementSystem
+from .negotiate import suggest_shares
+from .structures import (
+    complete_structure,
+    distance_decay_structure,
+    hierarchical_structure,
+    loop_structure,
+    sparse_structure,
+)
+
+__all__ = [
+    "AgreementSystem",
+    "StructureSummary",
+    "reachable_set",
+    "donor_set",
+    "exposure",
+    "dependency",
+    "chain_contributions",
+    "summarize",
+    "suggest_shares",
+    "to_networkx",
+    "from_networkx",
+    "transitive_coefficients",
+    "flow_matrix",
+    "overdraft_clamp",
+    "u_matrix",
+    "capacities",
+    "complete_structure",
+    "loop_structure",
+    "sparse_structure",
+    "hierarchical_structure",
+    "distance_decay_structure",
+]

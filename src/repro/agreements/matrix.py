@@ -1,0 +1,200 @@
+"""The :class:`AgreementSystem`: principals, capacities and agreement matrices.
+
+This is the enforcement layer's view of the world: a list of principals, a
+raw-capacity vector ``V``, the relative agreement matrix ``S`` and the
+(optional) absolute agreement matrix ``A``, with the validity constraints
+of Section 3.1 (``S_ii = 0``, ``S_ij >= 0``, ``sum_k S_ik <= 1`` unless
+overdraft is allowed) and cached transitive-flow queries.
+
+An :class:`AgreementSystem` is constructed directly from matrices, from a
+structure generator (:mod:`repro.agreements.structures`), or from a
+:class:`repro.economy.Bank` via :meth:`AgreementSystem.from_bank`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import InvalidAgreementMatrixError, OversharingError
+from . import flow as _flow
+
+__all__ = ["AgreementSystem"]
+
+_TOL = 1e-9
+
+
+class AgreementSystem:
+    """Principals + ``(V, S, A)`` with validated structure and cached flows.
+
+    Parameters
+    ----------
+    principals:
+        Names, defining index order in all matrices.
+    V:
+        Raw owned capacity per principal (``V_i >= 0``).
+    S:
+        Relative agreement matrix; ``S[i, j]`` is the fraction of ``i``'s
+        resources shared with ``j``.
+    A:
+        Optional absolute agreement matrix; ``A[i, j]`` is a constant
+        quantity granted by ``i`` to ``j``.
+    allow_overdraft:
+        Lift the row-sum <= 1 restriction (Section 3.2); flows are then
+        computed with the ``K`` clamp.
+    flow_method:
+        Algorithm for :func:`repro.agreements.flow.transitive_coefficients`.
+    """
+
+    def __init__(
+        self,
+        principals: Sequence[str],
+        V: np.ndarray,
+        S: np.ndarray,
+        A: np.ndarray | None = None,
+        *,
+        allow_overdraft: bool = False,
+        flow_method: str = "dp",
+    ):
+        self.principals = list(principals)
+        self.n = len(self.principals)
+        if len(set(self.principals)) != self.n:
+            raise InvalidAgreementMatrixError("principal names must be unique")
+        self._index = {p: i for i, p in enumerate(self.principals)}
+
+        self.V = np.asarray(V, dtype=float).copy()
+        self.S = np.asarray(S, dtype=float).copy()
+        self.A = None if A is None else np.asarray(A, dtype=float).copy()
+        self.allow_overdraft = bool(allow_overdraft)
+        self.flow_method = flow_method
+        self._validate()
+        self._t_cache: dict[int, np.ndarray] = {}
+
+    # -- validation ------------------------------------------------------------
+
+    def _validate(self) -> None:
+        n = self.n
+        if self.V.shape != (n,):
+            raise InvalidAgreementMatrixError(
+                f"V must have shape ({n},), got {self.V.shape}"
+            )
+        if np.any(self.V < -_TOL):
+            raise InvalidAgreementMatrixError("capacities V must be non-negative")
+        self.V = np.maximum(self.V, 0.0)
+        if self.S.shape != (n, n):
+            raise InvalidAgreementMatrixError(
+                f"S must have shape ({n}, {n}), got {self.S.shape}"
+            )
+        if np.any(np.abs(np.diag(self.S)) > _TOL):
+            raise InvalidAgreementMatrixError("S must have a zero diagonal (S_ii = 0)")
+        if np.any(self.S < -_TOL):
+            raise InvalidAgreementMatrixError("S entries must be non-negative")
+        self.S = np.maximum(self.S, 0.0)
+        np.fill_diagonal(self.S, 0.0)
+        row_sums = self.S.sum(axis=1)
+        if not self.allow_overdraft and np.any(row_sums > 1.0 + _TOL):
+            bad = [self.principals[i] for i in np.nonzero(row_sums > 1.0 + _TOL)[0]]
+            raise OversharingError(
+                f"principals {bad} share more than 100% of their resources; "
+                "pass allow_overdraft=True for Section-3.2 overdraft semantics"
+            )
+        if self.A is not None:
+            if self.A.shape != (n, n):
+                raise InvalidAgreementMatrixError(
+                    f"A must have shape ({n}, {n}), got {self.A.shape}"
+                )
+            if np.any(self.A < -_TOL):
+                raise InvalidAgreementMatrixError("A entries must be non-negative")
+            if np.any(np.abs(np.diag(self.A)) > _TOL):
+                raise InvalidAgreementMatrixError("A must have a zero diagonal")
+            self.A = np.maximum(self.A, 0.0)
+            np.fill_diagonal(self.A, 0.0)
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_bank(
+        cls,
+        bank,
+        resource_type: str = "general",
+        *,
+        allow_overdraft: bool = False,
+        flow_method: str = "dp",
+    ) -> "AgreementSystem":
+        """Flatten a :class:`repro.economy.Bank` into an agreement system."""
+        principals, V, S, A = bank.to_agreement_system(resource_type)
+        return cls(
+            principals,
+            V,
+            S,
+            A if np.any(A) else None,
+            allow_overdraft=allow_overdraft,
+            flow_method=flow_method,
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def index(self, principal: str) -> int:
+        try:
+            return self._index[principal]
+        except KeyError:
+            raise InvalidAgreementMatrixError(
+                f"unknown principal {principal!r}"
+            ) from None
+
+    @property
+    def max_level(self) -> int:
+        """Chain length of the full transitive closure (n - 1)."""
+        return max(self.n - 1, 0)
+
+    def coefficients(self, level: int | None = None) -> np.ndarray:
+        """``T^(m)`` (or ``K^(m)`` under overdraft), cached per level."""
+        m = self.max_level if level is None else min(int(level), self.max_level)
+        if m not in self._t_cache:
+            T = _flow.transitive_coefficients(self.S, m, self.flow_method)
+            if self.allow_overdraft:
+                T = _flow.overdraft_clamp(T)
+            self._t_cache[m] = T
+        return self._t_cache[m]
+
+    def flows(self, level: int | None = None) -> np.ndarray:
+        """``I^(m)_ij`` — the amount of ``i``'s resources reachable by ``j``."""
+        return _flow.flow_matrix(self.V, self.coefficients(level))
+
+    def u(self, level: int | None = None) -> np.ndarray:
+        """``U_ki`` — relative + absolute inflow clamped at donor capacity."""
+        return _flow.u_matrix(self.flows(level), self.A, self.V)
+
+    def capacities(self, level: int | None = None) -> np.ndarray:
+        """Effective capacities ``C_i`` at the given transitivity level."""
+        return _flow.capacities(self.V, self.u(level))
+
+    def capacity_of(self, principal: str, level: int | None = None) -> float:
+        """Effective capacity of one principal."""
+        return float(self.capacities(level)[self.index(principal)])
+
+    def with_capacities(self, V: np.ndarray) -> "AgreementSystem":
+        """A copy of this system with different raw capacities.
+
+        ``T`` depends only on ``S``, so the coefficient cache is shared —
+        this is the cheap operation the proxy simulator performs every
+        scheduling epoch as availability fluctuates.
+        """
+        clone = AgreementSystem(
+            self.principals,
+            V,
+            self.S,
+            self.A,
+            allow_overdraft=self.allow_overdraft,
+            flow_method=self.flow_method,
+        )
+        clone._t_cache = self._t_cache  # shared: same S
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"AgreementSystem(n={self.n}, total_capacity={self.V.sum():g}, "
+            f"edges={int(np.count_nonzero(self.S))}, "
+            f"overdraft={self.allow_overdraft})"
+        )

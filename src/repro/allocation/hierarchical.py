@@ -1,0 +1,222 @@
+"""Multigrid refinement for hierarchical agreement structures (Section 3.2).
+
+"In the case of a hierarchical agreement structure, we can use techniques
+motivated by multi-grid refinement: once a request comes to a group, and
+that group cannot satisfy the request, we use LP to find the distribution
+of resources among groups; based on the distribution result, we run LP
+inside each group to further refine the resource allocation."
+
+The coarse level treats each group as a super-principal: its raw capacity
+is the sum of member capacities, and the coarse share from group ``g`` to
+group ``h`` is the capacity-weighted aggregate of member-to-member shares
+(an upper-level approximation — refinement inside each donor group then
+respects the member-level bounds exactly).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..agreements.matrix import AgreementSystem
+from ..errors import AllocationError, InsufficientResourcesError
+from .lp_allocator import allocate_lp
+from .problem import Allocation, AllocationRequest
+
+__all__ = ["allocate_hierarchical", "coarsen"]
+
+_TOL = 1e-9
+
+
+def coarsen(system: AgreementSystem, groups: list[list[int]]) -> AgreementSystem:
+    """Aggregate a member-level system into a group-level system.
+
+    ``V_g = sum_{i in g} V_i`` and
+    ``S_gh = sum_{i in g, j in h} S_ij V_i / V_g`` (capacity-weighted mean
+    outgoing share; 0 for an empty group).  Intra-group agreements do not
+    appear at the coarse level.
+    """
+    ng = len(groups)
+    Vg = np.array([system.V[g].sum() for g in groups])
+    Sg = np.zeros((ng, ng))
+    for gi, g in enumerate(groups):
+        if Vg[gi] <= _TOL:
+            continue
+        for hi, h in enumerate(groups):
+            if gi == hi:
+                continue
+            Sg[gi, hi] = sum(
+                system.S[i, j] * system.V[i] for i in g for j in h
+            ) / Vg[gi]
+    names = [f"group{gi}" for gi in range(ng)]
+    return AgreementSystem(
+        names, Vg, Sg, allow_overdraft=system.allow_overdraft,
+        flow_method=system.flow_method,
+    )
+
+
+def _subsystem(system: AgreementSystem, members: list[int]) -> AgreementSystem:
+    """Member-level system restricted to one group (intra-group edges only)."""
+    idx = np.asarray(members)
+    names = [system.principals[i] for i in members]
+    return AgreementSystem(
+        names,
+        system.V[idx],
+        system.S[np.ix_(idx, idx)],
+        None if system.A is None else system.A[np.ix_(idx, idx)],
+        allow_overdraft=system.allow_overdraft,
+        flow_method=system.flow_method,
+    )
+
+
+def allocate_hierarchical(
+    system: AgreementSystem,
+    principal: str,
+    amount: float,
+    *,
+    groups: list[list[int]] | None = None,
+    level: int | None = None,
+    backend: str = "scipy",
+    partial: bool = False,
+) -> Allocation:
+    """Multigrid allocation on a hierarchical structure.
+
+    1. Try to satisfy the request entirely inside the requester's group
+       (one small LP).
+    2. Otherwise allocate at the coarse (group) level, refine each donor
+       group's contribution with an intra-group LP, and — because the
+       coarse level may overestimate what a group can actually hand to the
+       requesting member — *iterate* on any shortfall with updated member
+       capacities, exactly the paper's "iterating this process as
+       required".
+
+    ``groups`` defaults to the ``system.groups`` attribute set by
+    :func:`repro.agreements.structures.hierarchical_structure`.
+
+    Raises :class:`~repro.errors.InsufficientResourcesError` (with the
+    amount actually deliverable) if iteration stalls short of the request
+    and ``partial`` is False.
+    """
+    if groups is None:
+        groups = getattr(system, "groups", None)
+    if groups is None:
+        raise AllocationError(
+            "hierarchical allocation needs a group partition; pass groups= "
+            "or use a system built by hierarchical_structure()"
+        )
+    a = system.index(principal)
+    home = next((gi for gi, g in enumerate(groups) if a in g), None)
+    if home is None:
+        raise AllocationError(f"principal {principal!r} is not in any group")
+
+    n = system.n
+    request = AllocationRequest(principal, amount, level)
+    x = float(amount)
+    take = np.zeros(n)
+
+    # Fast path: the whole request fits inside the requester's group.
+    local_sys = _subsystem(system, groups[home])
+    local_cap = local_sys.capacity_of(principal, level)
+    if x <= local_cap + _TOL:
+        plan = allocate_lp(local_sys, principal, x, level=level, backend=backend)
+        for m, t in zip(groups[home], plan.take):
+            take[m] = t
+        return _finish(system, request, take, x, level)
+
+    remaining = x
+    current = system
+    for _iteration in range(len(groups) + 2):
+        if remaining <= _TOL:
+            break
+        coarse = coarsen(current, groups)
+        # The home group's deliverable capacity is what the requester can
+        # actually reach through intra-group agreements, not the raw member
+        # sum — otherwise the coarse LP keeps "allocating" locally work that
+        # refinement cannot extract.
+        home_deliverable = _subsystem(current, groups[home]).capacity_of(
+            principal, level
+        )
+        Vc = coarse.V.copy()
+        Vc[home] = home_deliverable
+        coarse = coarse.with_capacities(Vc)
+        coarse_cap = coarse.capacity_of(f"group{home}", level)
+        ask = min(remaining, coarse_cap)
+        if ask <= _TOL:
+            break
+        coarse_plan = allocate_lp(
+            coarse, f"group{home}", ask, level=level, backend=backend,
+            partial=True,
+        )
+        round_take = np.zeros(n)
+        for gi, contribution in enumerate(coarse_plan.take):
+            if contribution <= _TOL:
+                continue
+            members = groups[gi]
+            sub = _subsystem(current, members)
+            if gi == home:
+                plan = allocate_lp(
+                    sub, principal, float(contribution), level=level,
+                    backend=backend, partial=True,
+                )
+                member_take = plan.take
+            else:
+                member_take = _spread_within(sub, float(contribution))
+            for m, t in zip(members, member_take):
+                round_take[m] += t
+        got = float(round_take.sum())
+        if got <= _TOL:
+            break  # stalled: nothing more is extractable
+        take += round_take
+        remaining -= got
+        current = current.with_capacities(np.maximum(current.V - round_take, 0.0))
+
+    satisfied = float(take.sum())
+    if remaining > 1e-6 and not partial:
+        # Undo nothing — this is a pure planning function; just report.
+        raise InsufficientResourcesError(principal, x, satisfied)
+    return _finish(system, request, take, satisfied, level)
+
+
+def _spread_within(sub: AgreementSystem, contribution: float) -> np.ndarray:
+    """Spread a donor group's contribution over members, minimising the
+    maximum member drop (a small LP with an exogenous sink)."""
+    from ..lp import LinearProgram
+
+    k = sub.n
+    contribution = min(contribution, float(sub.V.sum()))
+    lp = LinearProgram("refine")
+    d = [lp.variable(f"d{i}", lower=0.0, upper=float(sub.V[i])) for i in range(k)]
+    theta = lp.variable("theta", lower=0.0)
+    total = d[0]
+    for i in range(1, k):
+        total = total + d[i]
+    lp.add_constraint(total == contribution, name="total")
+    T = sub.coefficients()
+    for i in range(k):
+        drop = d[i] * 1.0
+        for j in range(k):
+            if j != i and T[j, i] != 0.0:
+                drop = drop + d[j] * float(T[j, i])
+        lp.add_constraint(drop <= theta, name=f"drop{i}")
+    lp.minimize(theta)
+    res = lp.solve()
+    if not res.ok:  # pragma: no cover - bounded by construction
+        raise AllocationError(f"group refinement LP {res.status.value}")
+    return np.array([max(res[f"d{i}"], 0.0) for i in range(k)])
+
+
+def _finish(system, request, take, satisfied, level) -> Allocation:
+    new_V = np.maximum(system.V - take, 0.0)
+    new_sys = system.with_capacities(new_V)
+    new_C = new_sys.capacities(level)
+    a = system.index(request.principal)
+    drops = np.delete(system.capacities(level) - new_C, a)
+    return Allocation(
+        request=request,
+        take=take,
+        theta=float(drops.max()) if drops.size else 0.0,
+        satisfied=satisfied,
+        new_V=new_V,
+        new_C=new_C,
+        scheme="hierarchical",
+        principals=list(system.principals),
+    )

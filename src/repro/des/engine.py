@@ -1,0 +1,107 @@
+"""Event heap and simulation clock.
+
+A deliberately small kernel: events are ``(time, sequence, callback)``
+triples on a binary heap; the sequence number makes simultaneous events
+fire in scheduling order, so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["Engine", "Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is by (time, seq)."""
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays on the heap)."""
+        self.cancelled = True
+
+
+class Engine:
+    """The simulation clock and event loop.
+
+    ::
+
+        eng = Engine()
+        eng.schedule_at(5.0, lambda: print("hello at", eng.now))
+        eng.run(until=10.0)
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule_at(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute time ``time`` (>= now)."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time:g}; clock is already at {self._now:g}"
+            )
+        ev = Event(max(time, self._now), next(self._seq), fn)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` after ``delay`` seconds (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay:g}")
+        return self.schedule_at(self._now + delay, fn)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events in time order.
+
+        Stops when the heap is empty, the next event is after ``until``
+        (the clock then advances to ``until``), or ``max_events`` have
+        fired.  Re-entrant calls are rejected.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not re-entrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if until is not None and self._heap[0].time > until:
+                    break
+                ev = heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                self._now = ev.time
+                ev.fn()
+                fired += 1
+                self.events_processed += 1
+                if max_events is not None and fired >= max_events:
+                    return
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:
+        return f"Engine(now={self._now:g}, pending={self.pending})"

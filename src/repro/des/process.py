@@ -1,0 +1,99 @@
+"""Generator-based processes on top of the event engine.
+
+A *process* is a Python generator that yields the amounts of simulated
+time it wants to wait::
+
+    def customer(engine, queue):
+        yield 3.0                  # think for 3 seconds
+        queue.push(...)
+        yield 0.5
+
+    spawn(engine, customer(engine, queue))
+
+Yielding a :class:`Waiter` suspends until another process signals it,
+giving simple synchronisation without callbacks.  The proxy simulator
+itself uses plain events for speed; processes are provided for
+expressiveness in examples and tests of the DES substrate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from ..errors import SimulationError
+from .engine import Engine
+
+__all__ = ["Process", "Waiter", "spawn"]
+
+
+class Waiter:
+    """A one-shot synchronisation point between processes.
+
+    A process that yields a waiter suspends until :meth:`fire` is called
+    (by another process or by plain event code); ``value`` passes data to
+    the waiting process as the yield-expression result.
+    """
+
+    __slots__ = ("_engine", "_waiting", "fired", "value")
+
+    def __init__(self, engine: Engine):
+        self._engine = engine
+        self._waiting: list[Process] = []
+        self.fired = False
+        self.value = None
+
+    def fire(self, value=None) -> None:
+        """Wake every process waiting on this waiter (idempotent)."""
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        waiting, self._waiting = self._waiting, []
+        for proc in waiting:
+            self._engine.schedule(0.0, lambda p=proc: p._step(self.value))
+
+    def _register(self, process: "Process") -> None:
+        if self.fired:
+            self._engine.schedule(0.0, lambda: process._step(self.value))
+        else:
+            self._waiting.append(process)
+
+
+class Process:
+    """A running generator coupled to the engine's clock."""
+
+    def __init__(self, engine: Engine, gen: Generator):
+        self.engine = engine
+        self.gen = gen
+        self.finished = False
+        self.result = None
+
+    def _step(self, send_value=None) -> None:
+        if self.finished:
+            return
+        try:
+            yielded = self.gen.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        if isinstance(yielded, Waiter):
+            yielded._register(self)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                self.finished = True
+                self.gen.throw(SimulationError(f"negative wait {yielded!r}"))
+            self.engine.schedule(float(yielded), self._step)
+        else:
+            self.finished = True
+            raise SimulationError(
+                f"process yielded {type(yielded).__name__}; expected a "
+                "delay (number) or a Waiter"
+            )
+
+
+def spawn(engine: Engine, gen: Generator, delay: float = 0.0) -> Process:
+    """Start a generator as a process after ``delay`` seconds."""
+    process = Process(engine, gen)
+    engine.schedule(delay, process._step)
+    return process

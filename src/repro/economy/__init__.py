@@ -1,0 +1,31 @@
+"""Tickets and currencies for expressing resource sharing agreements.
+
+This package implements Section 2 of the paper:
+
+- :class:`~repro.economy.ticket.Ticket` — absolute or relative; encapsulates
+  both *access* (possessing the right ticket type) and *capacity* (value);
+- :class:`~repro.economy.currency.Currency` — denominates tickets; backed
+  (funded) by tickets and issuing its own; may be a *virtual* currency that
+  decouples subsets of agreements;
+- :class:`~repro.economy.bank.Bank` — the registry holding all currencies
+  and tickets; computes currency values (the fixed point of the funding
+  graph, solved as a linear system), supports inflation/deflation,
+  revocation, and exports the ``(V, S, A)`` agreement matrices consumed by
+  the enforcement layer (:mod:`repro.agreements`).
+- :mod:`~repro.economy.examples` — constructors replicating the paper's
+  Example 1 (Figure 1) and Example 2 (Figure 2) systems.
+"""
+
+from .bank import Bank
+from .currency import Currency
+from .examples import build_example_1, build_example_2
+from .ticket import Ticket, TicketKind
+
+__all__ = [
+    "Bank",
+    "Currency",
+    "Ticket",
+    "TicketKind",
+    "build_example_1",
+    "build_example_2",
+]

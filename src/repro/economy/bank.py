@@ -1,0 +1,386 @@
+"""The bank: registry and valuation engine for tickets and currencies.
+
+The bank holds every currency and ticket, computes currency values, and
+exports the ``(V, S, A)`` agreement matrices that the enforcement layer
+(:mod:`repro.agreements`) consumes.
+
+Valuation
+---------
+"The value of a currency is determined by the summation of all the backing
+tickets (both absolute ones and relative ones)" and "a relative ticket's
+real value is computed by multiplying the value of the currency from which
+it is issued by its share of all the amount issued by that currency"
+(Section 2.2; in Example 1 the share denominator is the issuing currency's
+face value: R-Ticket4 with face 500 from currency A with face 1000 is worth
+``value(A) * 500/1000``).
+
+These equations are linear: with ``M[c, q]`` the summed fractions of
+relative tickets issued by ``q`` backing ``c`` and ``b[c]`` the absolute
+backing, values satisfy ``v = b + M v``.  The bank solves ``(I - M) v = b``
+directly.  Cyclic funding graphs are fine as long as the cycle's product of
+fractions is below 1 (the Neumann series converges); a non-contractive
+cycle makes values undefined and raises
+:class:`~repro.errors.CurrencyCycleError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..errors import (
+    CurrencyCycleError,
+    DuplicateNameError,
+    EconomyError,
+    TicketRevokedError,
+    UnknownCurrencyError,
+    UnknownTicketError,
+)
+from ..units import ResourceVector
+from .currency import DEFAULT_FACE_VALUE, Currency
+from .ticket import Ticket, TicketKind
+
+__all__ = ["Bank"]
+
+_SINGULAR_TOL = 1e-10
+
+
+class Bank:
+    """Registry of currencies and tickets with value computation.
+
+    Typical construction of Figure 1's system::
+
+        bank = Bank()
+        for p in "ABCD":
+            bank.create_currency(p)
+        bank.deposit_capacity("A", 10.0, resource_type="disk")
+        bank.deposit_capacity("B", 15.0, resource_type="disk")
+        bank.issue_absolute_ticket("A", "C", 3.0, resource_type="disk")
+        bank.issue_relative_ticket("A", "B", 500)
+        bank.issue_relative_ticket("B", "D", 60)
+    """
+
+    def __init__(self) -> None:
+        self._currencies: dict[str, Currency] = {}
+        self._tickets: dict[int, Ticket] = {}
+
+    # -- registry ------------------------------------------------------------
+
+    def create_currency(
+        self,
+        name: str,
+        face_value: float = DEFAULT_FACE_VALUE,
+        owner: str | None = None,
+        virtual: bool = False,
+    ) -> Currency:
+        """Create a currency.  Default (non-virtual) currencies represent a
+        principal and should be named after it; virtual currencies must name
+        their creating principal as ``owner``."""
+        if name in self._currencies:
+            raise DuplicateNameError(f"currency {name!r} already exists")
+        if virtual and owner is None:
+            raise EconomyError(f"virtual currency {name!r} must declare an owner")
+        cur = Currency(name=name, face_value=face_value, owner=owner, virtual=virtual)
+        self._currencies[name] = cur
+        return cur
+
+    def currency(self, name: str) -> Currency:
+        try:
+            return self._currencies[name]
+        except KeyError:
+            raise UnknownCurrencyError(name) from None
+
+    def ticket(self, ticket_id: int) -> Ticket:
+        try:
+            return self._tickets[ticket_id]
+        except KeyError:
+            raise UnknownTicketError(ticket_id) from None
+
+    @property
+    def currencies(self) -> tuple[Currency, ...]:
+        return tuple(self._currencies.values())
+
+    @property
+    def tickets(self) -> tuple[Ticket, ...]:
+        return tuple(self._tickets.values())
+
+    def principals(self) -> list[str]:
+        """Owners of default (non-virtual) currencies, in creation order."""
+        return [c.name for c in self._currencies.values() if not c.virtual]
+
+    # -- ticket operations ----------------------------------------------------
+
+    def _register(self, ticket: Ticket) -> Ticket:
+        self._tickets[ticket.ticket_id] = ticket
+        self.currency(ticket.backing).backing_tickets.append(ticket.ticket_id)
+        if ticket.issuer is not None:
+            self.currency(ticket.issuer).issued_tickets.append(ticket.ticket_id)
+        return ticket
+
+    def deposit_capacity(
+        self,
+        currency: str,
+        amount: float,
+        resource_type: str = "general",
+        name: str = "",
+    ) -> Ticket:
+        """Deposit raw owned capacity (a base absolute ticket, no issuer)."""
+        self.currency(currency)  # validate
+        return self._register(
+            Ticket(
+                kind=TicketKind.ABSOLUTE,
+                face_value=float(amount),
+                backing=currency,
+                issuer=None,
+                resource_type=resource_type,
+                name=name,
+            )
+        )
+
+    def issue_absolute_ticket(
+        self,
+        issuer: str,
+        backing: str,
+        value: float,
+        resource_type: str = "general",
+        name: str = "",
+    ) -> Ticket:
+        """Express an *absolute* agreement: ``issuer`` grants a constant
+        quantity of one resource to ``backing`` (e.g. R-Ticket3: 3 TB)."""
+        self.currency(issuer)
+        self.currency(backing)
+        if issuer == backing:
+            raise EconomyError(f"currency {issuer!r} cannot back itself")
+        return self._register(
+            Ticket(
+                kind=TicketKind.ABSOLUTE,
+                face_value=float(value),
+                backing=backing,
+                issuer=issuer,
+                resource_type=resource_type,
+                name=name,
+            )
+        )
+
+    def issue_relative_ticket(
+        self,
+        issuer: str,
+        backing: str,
+        face_value: float,
+        name: str = "",
+    ) -> Ticket:
+        """Express a *relative* agreement: ``issuer`` shares
+        ``face_value / issuer.face_value`` of its available resources."""
+        self.currency(issuer)
+        self.currency(backing)
+        if issuer == backing:
+            raise EconomyError(f"currency {issuer!r} cannot back itself")
+        return self._register(
+            Ticket(
+                kind=TicketKind.RELATIVE,
+                face_value=float(face_value),
+                backing=backing,
+                issuer=issuer,
+                name=name,
+            )
+        )
+
+    def revoke_ticket(self, ticket_id: int) -> None:
+        """End the agreement the ticket expresses (its value drops to zero)."""
+        t = self.ticket(ticket_id)
+        if t.revoked:
+            raise TicketRevokedError(f"ticket {ticket_id} is already revoked")
+        t.revoked = True
+
+    def inflate_currency(self, name: str, factor: float) -> None:
+        """Inflate/deflate a currency (Section 2.2's "printing paper money")."""
+        self.currency(name).inflate(factor)
+
+    # -- valuation -------------------------------------------------------------
+
+    def resource_types(self) -> list[str]:
+        """All concrete resource types appearing on absolute tickets."""
+        types = {t.resource_type for t in self._tickets.values() if not t.revoked}
+        types.discard("*")
+        return sorted(types)
+
+    def _active_tickets(self) -> Iterable[Ticket]:
+        return (t for t in self._tickets.values() if not t.revoked)
+
+    def _value_system(self):
+        """Build the linear valuation system.
+
+        Returns ``(names, M, B, types)`` where values per resource type
+        solve ``(I - M) V = B`` columnwise (column k is resource type
+        ``types[k]``).
+        """
+        names = list(self._currencies)
+        index = {n: i for i, n in enumerate(names)}
+        types = self.resource_types()
+        tindex = {t: k for k, t in enumerate(types)}
+        n, k = len(names), len(types)
+        M = np.zeros((n, n))
+        B = np.zeros((n, k))
+        for t in self._active_tickets():
+            c = index[t.backing]
+            if t.kind is TicketKind.ABSOLUTE:
+                B[c, tindex[t.resource_type]] += t.face_value
+            else:
+                q = index[t.issuer]
+                M[c, q] += t.face_value / self._currencies[t.issuer].face_value
+        return names, M, B, types
+
+    def currency_values(self) -> dict[str, ResourceVector]:
+        """Value of every currency as a :class:`~repro.units.ResourceVector`."""
+        names, M, B, types = self._value_system()
+        if not names:
+            return {}
+        n = len(names)
+        A = np.eye(n) - M
+        # A singular or a non-contractive cycle leaves values undefined.
+        if n and np.linalg.cond(A) > 1 / _SINGULAR_TOL:
+            raise CurrencyCycleError(
+                "currency funding graph has a non-contractive cycle; "
+                "values are undefined (total shared fractions around a "
+                "cycle must stay below 100%)"
+            )
+        V = np.linalg.solve(A, B) if B.size else np.zeros((n, 0))
+        if np.any(V < -1e-9):
+            raise CurrencyCycleError(
+                "currency valuation produced negative values, indicating an "
+                "expansive funding cycle"
+            )
+        out: dict[str, ResourceVector] = {}
+        for i, name in enumerate(names):
+            out[name] = ResourceVector(
+                {t: max(float(V[i, j]), 0.0) for j, t in enumerate(types)}
+            )
+        return out
+
+    def currency_value(self, name: str) -> ResourceVector:
+        """Value of one currency (computes the full system)."""
+        self.currency(name)
+        return self.currency_values()[name]
+
+    def ticket_real_value(self, ticket_id: int) -> ResourceVector:
+        """Real value of a ticket.
+
+        Absolute tickets are worth their face value; relative tickets are
+        worth ``value(issuer) * face / issuer.face_value`` (Example 1:
+        R-Ticket4 = 10 * 500/1000 = 5).
+        """
+        t = self.ticket(ticket_id)
+        if t.revoked:
+            return ResourceVector()
+        if t.kind is TicketKind.ABSOLUTE:
+            return ResourceVector({t.resource_type: t.face_value})
+        issuer = self.currency(t.issuer)
+        return self.currency_value(t.issuer) * (t.face_value / issuer.face_value)
+
+    def overissued_currencies(self) -> list[str]:
+        """Currencies whose issued relative faces exceed their face value.
+
+        Such currencies promise more than 100% of their value — the
+        "overdraft" situation of Section 3.2.  Legal, but the enforcement
+        layer will clamp flows (see :mod:`repro.agreements.overdraft`).
+        """
+        issued: dict[str, float] = {}
+        for t in self._active_tickets():
+            if t.kind is TicketKind.RELATIVE:
+                issued[t.issuer] = issued.get(t.issuer, 0.0) + t.face_value
+        return sorted(
+            name
+            for name, total in issued.items()
+            if total > self._currencies[name].face_value * (1 + 1e-12)
+        )
+
+    # -- export to the enforcement layer ------------------------------------------
+
+    def to_agreement_system(self, resource_type: str = "general"):
+        """Flatten the funding graph into ``(principals, V, S, A)``.
+
+        ``principals`` are the default currencies in creation order.  ``V``
+        is raw owned capacity of the given resource type (base deposits into
+        default currencies).  ``S[i, j]`` is the effective *fraction* of
+        principal ``i``'s resources shared with principal ``j`` — direct
+        relative tickets plus chains through virtual currencies (Example 2:
+        A -> A2 -> B composes ``500/1000 * face8/face(A2)``).  ``A[i, j]``
+        is the effective *absolute* quantity granted, including absolute
+        tickets issued from virtual currencies (attributed to the virtual
+        currency's owner) and the absolute component of relative tickets
+        issued by virtual currencies funded with absolute tickets.
+
+        The matrices feed :class:`repro.agreements.AgreementSystem`.
+        """
+        principals = self.principals()
+        pindex = {p: i for i, p in enumerate(principals)}
+        virtuals = [c.name for c in self._currencies.values() if c.virtual]
+        vindex = {v: i for i, v in enumerate(virtuals)}
+        n, nv = len(principals), len(virtuals)
+
+        # contrib(c) for a currency c = (alpha over principals, beta) where
+        # value-flow into c = sum_p alpha_p * flow(default_p) + beta.
+        # Defaults contribute a unit of themselves; virtual currencies solve
+        # a small linear system over virtual-to-virtual relative tickets.
+        Mv = np.zeros((nv, nv))
+        Bv = np.zeros((nv, n + 1))  # last column: absolute component
+        for t in self._active_tickets():
+            if t.backing not in vindex:
+                continue
+            r = vindex[t.backing]
+            if t.kind is TicketKind.ABSOLUTE:
+                if t.resource_type == resource_type:
+                    Bv[r, n] += t.face_value
+            else:
+                frac = t.face_value / self._currencies[t.issuer].face_value
+                if t.issuer in pindex:
+                    Bv[r, pindex[t.issuer]] += frac
+                else:
+                    Mv[r, vindex[t.issuer]] += frac
+        if nv:
+            Av = np.eye(nv) - Mv
+            if np.linalg.cond(Av) > 1 / _SINGULAR_TOL:
+                raise CurrencyCycleError(
+                    "virtual currencies form a non-contractive funding cycle"
+                )
+            contrib_v = np.linalg.solve(Av, Bv)
+        else:
+            contrib_v = np.zeros((0, n + 1))
+
+        def contribution(currency: str) -> np.ndarray:
+            out = np.zeros(n + 1)
+            if currency in pindex:
+                out[pindex[currency]] = 1.0
+            else:
+                out[:] = contrib_v[vindex[currency]]
+            return out
+
+        V = np.zeros(n)
+        S = np.zeros((n, n))
+        A = np.zeros((n, n))
+        for t in self._active_tickets():
+            if t.is_base_capacity:
+                if t.backing in pindex and t.resource_type == resource_type:
+                    V[pindex[t.backing]] += t.face_value
+                continue
+            if t.backing not in pindex:
+                continue  # funds a virtual currency; handled via contrib
+            j = pindex[t.backing]
+            if t.kind is TicketKind.ABSOLUTE:
+                if t.resource_type != resource_type:
+                    continue
+                owner = self._currencies[t.issuer].owner
+                if owner in pindex and owner != t.backing:
+                    A[pindex[owner], j] += t.face_value
+            else:
+                frac = t.face_value / self._currencies[t.issuer].face_value
+                c = contribution(t.issuer) * frac
+                for i in range(n):
+                    if i != j and c[i] > 0:
+                        S[i, j] += c[i]
+                if c[n] > 0:
+                    owner = self._currencies[t.issuer].owner
+                    if owner in pindex and owner != t.backing:
+                        A[pindex[owner], j] += c[n]
+        return principals, V, S, A

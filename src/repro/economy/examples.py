@@ -1,0 +1,76 @@
+"""Constructors for the paper's worked examples (Figures 1 and 2).
+
+These build the exact systems of Section 2.2's Example 1 and Example 2 and
+are used both as documentation and as ground truth in the test suite:
+
+Example 1 expected values
+    value(R-Ticket4) = 10 * 500/1000 = 5 (disk),
+    value(currency B) = 5 + 15 = 20,
+    value(R-Ticket5) = 20 * 60/100 = 12.
+
+Example 2 expected values
+    value(A1) = value(R-Ticket3) = 3,
+    value(A2) = value(R-Ticket4) = 5.
+"""
+
+from __future__ import annotations
+
+from .bank import Bank
+from .ticket import Ticket
+
+__all__ = ["build_example_1", "build_example_2"]
+
+
+def build_example_1() -> tuple[Bank, dict[str, Ticket]]:
+    """Figure 1: four principals A..D, two disk resources, three agreements.
+
+    - A owns 10 TB (A-Ticket1), B owns 15 TB (A-Ticket2);
+    - A grants C 3 TB absolutely (R-Ticket3);
+    - A shares 50% with B: relative R-Ticket4, face 500 of A's 1000;
+    - B shares 60% with D: relative R-Ticket5, face 60 of B's 100.
+    """
+    bank = Bank()
+    bank.create_currency("A", face_value=1000)
+    bank.create_currency("B", face_value=100)
+    bank.create_currency("C")
+    bank.create_currency("D")
+    tickets = {
+        "A-Ticket1": bank.deposit_capacity("A", 10.0, "disk", name="A-Ticket1"),
+        "A-Ticket2": bank.deposit_capacity("B", 15.0, "disk", name="A-Ticket2"),
+        "R-Ticket3": bank.issue_absolute_ticket("A", "C", 3.0, "disk", name="R-Ticket3"),
+        "R-Ticket4": bank.issue_relative_ticket("A", "B", 500, name="R-Ticket4"),
+        "R-Ticket5": bank.issue_relative_ticket("B", "D", 60, name="R-Ticket5"),
+    }
+    return bank, tickets
+
+
+def build_example_2() -> tuple[Bank, dict[str, Ticket]]:
+    """Figure 2: Example 1's principals plus virtual currencies A1 and A2.
+
+    A creates virtual currencies A1 (funded by R-Ticket3, worth 3) and A2
+    (funded by R-Ticket4, worth 5).  A1 issues R-Ticket6 funding C; A2
+    issues R-Ticket7 funding D and R-Ticket8 funding B.  Changing one
+    virtual currency (inflating A1, or issuing more tickets from it) cannot
+    affect agreements routed through the other.
+
+    The figure does not give faces for tickets 6–8; we use A1/A2 face 100,
+    R-Ticket6 the whole of A1 (face 100), and R-Ticket7/R-Ticket8 splitting
+    A2 40/60.
+    """
+    bank = Bank()
+    bank.create_currency("A", face_value=1000)
+    bank.create_currency("B", face_value=100)
+    bank.create_currency("C")
+    bank.create_currency("D")
+    bank.create_currency("A1", face_value=100, owner="A", virtual=True)
+    bank.create_currency("A2", face_value=100, owner="A", virtual=True)
+    tickets = {
+        "A-Ticket1": bank.deposit_capacity("A", 10.0, "disk", name="A-Ticket1"),
+        "A-Ticket2": bank.deposit_capacity("B", 15.0, "disk", name="A-Ticket2"),
+        "R-Ticket3": bank.issue_relative_ticket("A", "A1", 300, name="R-Ticket3"),
+        "R-Ticket4": bank.issue_relative_ticket("A", "A2", 500, name="R-Ticket4"),
+        "R-Ticket6": bank.issue_relative_ticket("A1", "C", 100, name="R-Ticket6"),
+        "R-Ticket7": bank.issue_relative_ticket("A2", "D", 40, name="R-Ticket7"),
+        "R-Ticket8": bank.issue_relative_ticket("A2", "B", 60, name="R-Ticket8"),
+    }
+    return bank, tickets

@@ -1,0 +1,77 @@
+"""Terminal plotting for experiment series (no plotting library needed).
+
+Renders per-slot series as Unicode block-character charts so
+``repro-experiments fig06 --plot`` can show the figure shapes directly in
+the terminal — the closest offline equivalent of the paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["sparkline", "ascii_chart", "render_series"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 72) -> str:
+    """One-line block-character summary of a series (downsampled to width)."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    if v.size > width:
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([v[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])])
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return _BLOCKS[1] * v.size
+    idx = ((v - lo) / (hi - lo) * (len(_BLOCKS) - 1)).round().astype(int)
+    return "".join(_BLOCKS[i] for i in idx)
+
+
+def ascii_chart(
+    values,
+    height: int = 10,
+    width: int = 72,
+    label: str = "",
+    log: bool = False,
+) -> str:
+    """Multi-line bar chart of a series.
+
+    ``log=True`` plots log10(1 + value), useful for waiting-time curves
+    spanning orders of magnitude.
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return "(empty series)"
+    if v.size > width:
+        edges = np.linspace(0, v.size, width + 1).astype(int)
+        v = np.array([v[a:b].mean() if b > a else 0.0 for a, b in zip(edges, edges[1:])])
+    raw_hi = float(np.asarray(values, dtype=float).max())
+    plot = np.log10(1.0 + v) if log else v
+    hi = float(plot.max())
+    if hi <= 0:
+        hi = 1.0
+    rows = []
+    levels = (plot / hi * height).round().astype(int)
+    for row in range(height, 0, -1):
+        line = "".join("█" if lv >= row else " " for lv in levels)
+        rows.append("|" + line)
+    axis = "+" + "-" * len(levels)
+    head = f"{label}  (max {raw_hi:.3g}{', log scale' if log else ''})"
+    return "\n".join([head] + rows + [axis])
+
+
+def render_series(result, keys=None, height: int = 8, log: bool = True) -> str:
+    """Render an :class:`~repro.experiments.common.ExperimentResult`'s
+    series as stacked charts (skipping axis series like ``slot_hours``)."""
+    out = []
+    for key, series in result.series.items():
+        if keys is not None and key not in keys:
+            continue
+        if key.startswith("slot_"):
+            continue
+        out.append(ascii_chart(series, height=height, label=key, log=log))
+    return "\n\n".join(out) if out else "(no series to plot)"

@@ -1,0 +1,145 @@
+"""Linear expressions over named LP variables.
+
+A :class:`Variable` is a handle created by
+:meth:`repro.lp.model.LinearProgram.variable`.  Arithmetic on variables
+produces :class:`LinExpr` objects (sparse ``{variable_index: coefficient}``
+maps plus a constant), and comparisons produce constraint specifications
+consumed by :meth:`~repro.lp.model.LinearProgram.add_constraint`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from numbers import Real
+
+__all__ = ["Variable", "LinExpr", "Relation"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An (expression, sense, rhs-expression) triple produced by comparisons.
+
+    ``sense`` is one of ``"<="``, ``">="``, ``"=="``.  Both sides are kept as
+    expressions; normalisation to ``lhs - rhs <sense> 0`` happens in the
+    model builder.
+    """
+
+    lhs: "LinExpr"
+    sense: str
+    rhs: "LinExpr"
+
+
+class _ExprOps:
+    """Shared operator overloads for Variable and LinExpr."""
+
+    def _as_expr(self) -> "LinExpr":
+        raise NotImplementedError
+
+    @staticmethod
+    def _coerce(other) -> "LinExpr | None":
+        if isinstance(other, _ExprOps):
+            return other._as_expr()
+        if isinstance(other, Real):
+            return LinExpr({}, float(other))
+        return None
+
+    def __add__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return self._as_expr()._add(rhs)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return self._as_expr()._add(rhs * -1.0)
+
+    def __rsub__(self, other):
+        lhs = self._coerce(other)
+        if lhs is None:
+            return NotImplemented
+        return lhs._add(self._as_expr() * -1.0)
+
+    def __mul__(self, scalar):
+        if not isinstance(scalar, Real):
+            return NotImplemented
+        expr = self._as_expr()
+        s = float(scalar)
+        return LinExpr({i: c * s for i, c in expr.coeffs.items()}, expr.const * s)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar):
+        if not isinstance(scalar, Real) or scalar == 0:
+            return NotImplemented
+        return self * (1.0 / float(scalar))
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __le__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return Relation(self._as_expr(), "<=", rhs)
+
+    def __ge__(self, other):
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return Relation(self._as_expr(), ">=", rhs)
+
+    # NOTE: __eq__ builds a Relation, which makes Variable/LinExpr unusable
+    # as dict keys with equality semantics; Variable identity hashing is kept.
+    def __eq__(self, other):  # type: ignore[override]
+        rhs = self._coerce(other)
+        if rhs is None:
+            return NotImplemented
+        return Relation(self._as_expr(), "==", rhs)
+
+    def __hash__(self):  # pragma: no cover - identity hash
+        return id(self)
+
+
+class Variable(_ExprOps):
+    """A handle to one LP variable (identified by model + index)."""
+
+    __slots__ = ("index", "name", "lower", "upper")
+
+    def __init__(self, index: int, name: str, lower: float, upper: float):
+        self.index = index
+        self.name = name
+        self.lower = lower
+        self.upper = upper
+
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self.index: 1.0}, 0.0)
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr(_ExprOps):
+    """A sparse linear expression ``sum_i coeffs[i] * x_i + const``."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: dict[int, float] | None = None, const: float = 0.0):
+        self.coeffs = dict(coeffs or {})
+        self.const = float(const)
+
+    def _as_expr(self) -> "LinExpr":
+        return self
+
+    def _add(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for i, c in other.coeffs.items():
+            coeffs[i] = coeffs.get(i, 0.0) + c
+        return LinExpr(coeffs, self.const + other.const)
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinExpr({terms or '0'} + {self.const:g})"

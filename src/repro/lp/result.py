@@ -1,0 +1,62 @@
+"""Solver-independent LP result types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LPStatus", "LPResult"]
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+@dataclass
+class LPResult:
+    """Result of solving a :class:`~repro.lp.model.LinearProgram`.
+
+    Attributes
+    ----------
+    status:
+        Solve outcome.
+    objective:
+        Optimal objective value (``nan`` unless :attr:`status` is OPTIMAL).
+    x:
+        Optimal variable values in model index order.
+    names:
+        Variable names matching :attr:`x`.
+    backend:
+        Which solver produced the result (``"scipy"`` or ``"simplex"``).
+    iterations:
+        Solver iteration count when available.
+    """
+
+    status: LPStatus
+    objective: float = float("nan")
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    names: tuple[str, ...] = ()
+    backend: str = ""
+    iterations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is LPStatus.OPTIMAL
+
+    def __getitem__(self, name: str) -> float:
+        """Value of the variable called ``name``."""
+        try:
+            return float(self.x[self.names.index(name)])
+        except ValueError:
+            raise KeyError(name) from None
+
+    def as_dict(self) -> dict[str, float]:
+        """All variable values keyed by name."""
+        return {n: float(v) for n, v in zip(self.names, self.x)}

@@ -1,0 +1,45 @@
+"""LP backend using :func:`scipy.optimize.linprog` (HiGHS)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..errors import LPSolverError
+from .result import LPResult, LPStatus
+
+__all__ = ["solve_scipy"]
+
+_STATUS_MAP = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ERROR,  # iteration limit
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.ERROR,
+}
+
+
+def solve_scipy(model, method: str = "highs") -> LPResult:
+    """Solve a :class:`~repro.lp.model.LinearProgram` with scipy's HiGHS.
+
+    Raises :class:`~repro.errors.LPSolverError` on a numerical failure
+    (status 4); infeasible/unbounded outcomes are reported in the result so
+    callers can turn them into domain errors.
+    """
+    c, A_ub, b_ub, A_eq, b_eq, bounds, const = model.to_arrays()
+    res = linprog(
+        c,
+        A_ub=A_ub if A_ub.size else None,
+        b_ub=b_ub if b_ub.size else None,
+        A_eq=A_eq if A_eq.size else None,
+        b_eq=b_eq if b_eq.size else None,
+        bounds=bounds,
+        method=method,
+    )
+    status = _STATUS_MAP.get(res.status, LPStatus.ERROR)
+    if status is LPStatus.ERROR and res.status == 4:
+        raise LPSolverError(f"scipy linprog failed on {model.name!r}: {res.message}")
+    x = np.asarray(res.x) if res.x is not None else np.full(model.num_variables, np.nan)
+    objective = float(res.fun) + const if status is LPStatus.OPTIMAL else float("nan")
+    iterations = int(getattr(res, "nit", 0) or 0)
+    return LPResult(status=status, objective=objective, x=x, backend="scipy", iterations=iterations)

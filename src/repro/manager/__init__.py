@@ -1,0 +1,50 @@
+"""The GRM/LRM resource-manager architecture (Section 3.2).
+
+"The resource management system has two components: a centralized global
+resource manager (GRM) and multiple local resource managers (LRM).  The
+GRM provides services to manage sharing agreements and to schedule
+resources among local resource managers.  LRMs are responsible for
+providing resource availability information to the GRM dynamically, and
+fulfilling resource allocation according to the GRM's decisions.  The
+architecture also permits splitting of the GRMs into multiple levels, each
+responsible for a subset of the LRMs."
+
+This package implements that architecture over an in-process
+message-passing transport (:mod:`~repro.manager.transport`), so the
+allocation engine is exercised through the same two-component protocol a
+distributed deployment would use:
+
+- :class:`~repro.manager.lrm.LocalResourceManager` — owns physical
+  resources, reports availability, executes grants/releases;
+- :class:`~repro.manager.grm.GlobalResourceManager` — owns the agreement
+  registry (a ticket/currency :class:`~repro.economy.Bank`), tracks
+  availability reports, and answers allocation requests with the LP
+  allocator;
+- multi-level GRMs: a GRM can delegate a subset of principals to a child
+  GRM, mirroring the paper's hierarchical split.
+"""
+
+from .grm import GlobalResourceManager
+from .hierarchy import HierarchicalGRM, build_hierarchical_grm
+from .lrm import LocalResourceManager
+from .messages import (
+    AllocationGrant,
+    AllocationRequestMsg,
+    AvailabilityReport,
+    Message,
+    ReleaseMsg,
+)
+from .transport import InProcessTransport
+
+__all__ = [
+    "GlobalResourceManager",
+    "HierarchicalGRM",
+    "build_hierarchical_grm",
+    "LocalResourceManager",
+    "InProcessTransport",
+    "Message",
+    "AvailabilityReport",
+    "AllocationRequestMsg",
+    "AllocationGrant",
+    "ReleaseMsg",
+]

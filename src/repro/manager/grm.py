@@ -1,0 +1,164 @@
+"""Global resource manager.
+
+The GRM owns the agreement registry (a ticket/currency
+:class:`~repro.economy.Bank`), keeps the latest availability report from
+every LRM, and answers allocation requests by solving the Section-3 LP
+over the agreement system evaluated at current availability.  It can
+delegate a subset of principals to a child GRM ("the architecture also
+permits splitting of the GRMs into multiple levels").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..agreements.matrix import AgreementSystem
+from ..allocation.lp_allocator import allocate_lp
+from ..economy.bank import Bank
+from ..errors import (
+    InsufficientResourcesError,
+    ManagerError,
+    UnknownPrincipalError,
+)
+from ..units import ResourceVector
+from .messages import (
+    AllocationDenied,
+    AllocationGrant,
+    AllocationRequestMsg,
+    AvailabilityReport,
+    Message,
+    ReleaseMsg,
+)
+
+__all__ = ["GlobalResourceManager"]
+
+
+class GlobalResourceManager:
+    """Agreement registry + availability tracker + LP scheduler.
+
+    ::
+
+        grm = GlobalResourceManager("grm", bank)
+        grm.attach(transport)
+        ... LRMs report availability ...
+        reply = transport.send("grm", AllocationRequestMsg(
+            sender="isp3", principal="isp3", amount=2.5))
+    """
+
+    def __init__(self, name: str, bank: Bank):
+        self.name = name
+        self.bank = bank
+        self.transport = None
+        # latest availability per (principal, resource_type)
+        self._availability: dict[tuple[str, str], float] = {}
+        # open grants: grant msg_id -> (resource_type, takes)
+        self._grants: dict[int, tuple[str, tuple[tuple[str, float], ...]]] = {}
+        # child GRMs: principal -> child endpoint name
+        self._delegates: dict[str, str] = {}
+        self.requests_served = 0
+        self.requests_denied = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, transport) -> None:
+        self.transport = transport
+        transport.register(self.name, self.handle)
+
+    def delegate(self, child_grm_name: str, principals: list[str]) -> None:
+        """Route requests from these principals to a child GRM."""
+        for p in principals:
+            self._delegates[p] = child_grm_name
+
+    # -- availability ---------------------------------------------------------------
+
+    def availability(self, principal: str, resource_type: str = "general") -> float:
+        return self._availability.get((principal, resource_type), 0.0)
+
+    def availability_vector(self, resource_type: str = "general") -> np.ndarray:
+        principals = self.bank.principals()
+        return np.array(
+            [self.availability(p, resource_type) for p in principals]
+        )
+
+    # -- protocol --------------------------------------------------------------------
+
+    def handle(self, message: Message) -> Message | None:
+        if isinstance(message, AvailabilityReport):
+            self._availability[(message.sender, message.resource_type)] = (
+                message.available
+            )
+            return None
+        if isinstance(message, AllocationRequestMsg):
+            return self._allocate(message)
+        if isinstance(message, ReleaseMsg):
+            self._release(message)
+            return None
+        raise ManagerError(f"GRM {self.name!r} cannot handle {type(message).__name__}")
+
+    def _allocate(self, msg: AllocationRequestMsg) -> Message:
+        principals = self.bank.principals()
+        if msg.principal not in principals:
+            raise UnknownPrincipalError(msg.principal)
+        if msg.principal in self._delegates and self.transport is not None:
+            return self.transport.send(self._delegates[msg.principal], msg)
+
+        system = AgreementSystem.from_bank(self.bank, msg.resource_type)
+        live = system.with_capacities(self.availability_vector(msg.resource_type))
+        try:
+            allocation = allocate_lp(
+                live, msg.principal, msg.amount, level=msg.level
+            )
+        except InsufficientResourcesError as exc:
+            self.requests_denied += 1
+            return AllocationDenied(
+                sender=self.name,
+                request_id=msg.msg_id,
+                reason=str(exc),
+                available=exc.available,
+            )
+        takes = tuple(
+            (p, float(t))
+            for p, t in zip(principals, allocation.take)
+            if t > 1e-12
+        )
+        grant = AllocationGrant(
+            sender=self.name,
+            request_id=msg.msg_id,
+            takes=takes,
+            theta=allocation.theta,
+        )
+        # Update cached availability until fresh reports arrive, and
+        # remember the grant so a release can restore it.
+        for p, t in takes:
+            key = (p, msg.resource_type)
+            self._availability[key] = max(
+                self._availability.get(key, 0.0) - t, 0.0
+            )
+        self._grants[grant.msg_id] = (msg.resource_type, takes)
+        self.requests_served += 1
+        return grant
+
+    def _release(self, msg: ReleaseMsg) -> None:
+        try:
+            resource_type, takes = self._grants.pop(msg.grant_id)
+        except KeyError:
+            raise ManagerError(
+                f"GRM {self.name!r} has no open grant {msg.grant_id}"
+            ) from None
+        for p, t in takes:
+            key = (p, resource_type)
+            self._availability[key] = self._availability.get(key, 0.0) + t
+
+    # -- conveniences -----------------------------------------------------------------
+
+    def register_principal(
+        self, principal: str, capacity: ResourceVector | None = None
+    ) -> None:
+        """Create the principal's default currency (and deposit capacity)."""
+        self.bank.create_currency(principal)
+        if capacity is not None:
+            for rtype, qty in capacity.items():
+                self.bank.deposit_capacity(principal, qty, rtype)
+
+    def open_grants(self) -> int:
+        return len(self._grants)

@@ -1,0 +1,91 @@
+"""Multi-level GRM construction.
+
+"The architecture also permits splitting of the GRMs into multiple
+levels, each responsible for a subset of the LRMs" (Section 3.2).
+:func:`build_hierarchical_grm` wires a root GRM plus one child GRM per
+principal group over a shared transport and bank: requests from a
+group's principals are served by its child GRM; the root handles
+principals not assigned to any group and remains the registry owner.
+
+All GRMs share one :class:`~repro.economy.Bank` (the agreement registry
+is global — what is split is the *scheduling* responsibility), and each
+child sees the availability reports of every principal because its
+allocation decisions may draw on cross-group agreements.
+"""
+
+from __future__ import annotations
+
+from ..economy.bank import Bank
+from ..errors import ManagerError
+from .grm import GlobalResourceManager
+from .transport import InProcessTransport
+
+__all__ = ["build_hierarchical_grm", "HierarchicalGRM"]
+
+
+class HierarchicalGRM:
+    """A root GRM with per-group children on one transport."""
+
+    def __init__(self, root: GlobalResourceManager, children: dict[str, GlobalResourceManager], transport: InProcessTransport):
+        self.root = root
+        self.children = children
+        self.transport = transport
+
+    def grm_for(self, principal: str) -> GlobalResourceManager:
+        """The GRM responsible for a principal's requests."""
+        child_name = self.root._delegates.get(principal)
+        if child_name is None:
+            return self.root
+        for child in self.children.values():
+            if child.name == child_name:
+                return child
+        raise ManagerError(f"delegate {child_name!r} not found")  # pragma: no cover
+
+    def broadcast_availability(self, availability: dict[str, float], resource_type: str = "general") -> None:
+        """Push availability to the root and every child (as LRM reports
+        would fan out in a deployment)."""
+        for grm in [self.root, *self.children.values()]:
+            for principal, value in availability.items():
+                grm._availability[(principal, resource_type)] = value
+
+    def requests_served(self) -> dict[str, int]:
+        out = {self.root.name: self.root.requests_served}
+        for name, child in self.children.items():
+            out[child.name] = child.requests_served
+        return out
+
+
+def build_hierarchical_grm(
+    bank: Bank,
+    groups: dict[str, list[str]],
+    transport: InProcessTransport | None = None,
+    root_name: str = "grm-root",
+) -> HierarchicalGRM:
+    """Create a root GRM and one child per group, with delegation wired.
+
+    ``groups`` maps group name -> principal names (must exist in the
+    bank).  Principals absent from every group stay with the root.
+    """
+    transport = transport or InProcessTransport()
+    known = set(bank.principals())
+    root = GlobalResourceManager(root_name, bank)
+    root.attach(transport)
+    children: dict[str, GlobalResourceManager] = {}
+    seen: set[str] = set()
+    for group_name, members in groups.items():
+        unknown = set(members) - known
+        if unknown:
+            raise ManagerError(
+                f"group {group_name!r} names unknown principals {sorted(unknown)}"
+            )
+        overlap = set(members) & seen
+        if overlap:
+            raise ManagerError(
+                f"principals {sorted(overlap)} appear in more than one group"
+            )
+        seen |= set(members)
+        child = GlobalResourceManager(f"grm-{group_name}", bank)
+        child.attach(transport)
+        root.delegate(child.name, list(members))
+        children[group_name] = child
+    return HierarchicalGRM(root, children, transport)

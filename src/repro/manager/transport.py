@@ -1,0 +1,69 @@
+"""In-process message transport.
+
+A deliberately simple substitute for the network layer of a deployed
+GRM/LRM system: named endpoints, FIFO mailboxes, synchronous ``deliver``.
+Keeping the transport explicit (instead of direct method calls) preserves
+the protocol boundary — every GRM/LRM interaction goes through messages
+that a real distributed deployment could serialise.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from ..errors import ManagerError
+from .messages import Message
+
+__all__ = ["InProcessTransport"]
+
+
+class InProcessTransport:
+    """Named mailboxes with synchronous delivery and optional handlers.
+
+    Endpoints register either a handler (push: invoked on delivery, may
+    return a reply message) or nothing (pull: messages queue in a mailbox
+    until :meth:`receive`).
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Callable[[Message], Message | None]] = {}
+        self._mailboxes: dict[str, deque[Message]] = {}
+        self.delivered = 0
+
+    def register(
+        self,
+        name: str,
+        handler: Callable[[Message], Message | None] | None = None,
+    ) -> None:
+        if name in self._mailboxes:
+            raise ManagerError(f"endpoint {name!r} already registered")
+        self._mailboxes[name] = deque()
+        if handler is not None:
+            self._handlers[name] = handler
+
+    def endpoints(self) -> list[str]:
+        return list(self._mailboxes)
+
+    def send(self, to: str, message: Message) -> Message | None:
+        """Deliver a message; returns the handler's reply, if any."""
+        if to not in self._mailboxes:
+            raise ManagerError(f"unknown endpoint {to!r}")
+        self.delivered += 1
+        handler = self._handlers.get(to)
+        if handler is not None:
+            return handler(message)
+        self._mailboxes[to].append(message)
+        return None
+
+    def receive(self, name: str) -> Message | None:
+        """Pop the oldest queued message for a pull endpoint."""
+        if name not in self._mailboxes:
+            raise ManagerError(f"unknown endpoint {name!r}")
+        box = self._mailboxes[name]
+        return box.popleft() if box else None
+
+    def pending(self, name: str) -> int:
+        if name not in self._mailboxes:
+            raise ManagerError(f"unknown endpoint {name!r}")
+        return len(self._mailboxes[name])

@@ -1,0 +1,44 @@
+"""The case study: resource sharing among ISP-level web proxies (Section 4).
+
+A group of proxies serves diurnal client request streams; a request of
+response length ``x`` consumes ``a + b*x`` seconds of the proxy's single
+collapsed "general" resource (capped at ``c``).  When the work queued at a
+proxy's front-end exceeds a threshold, the global scheduler is consulted;
+it redirects the excess to other proxies, enforcing the sharing agreements
+by solving the Section-3 LP (or one of the baseline schemes).
+
+- :class:`~repro.proxysim.config.SimulationConfig` — all knobs, with
+  paper-parameter and scaled-benchmark presets;
+- :class:`~repro.proxysim.simulator.ProxySimulation` — the event loop;
+- :class:`~repro.proxysim.metrics.SimulationResult` — per-slot series and
+  scalar summaries matching what the figures plot;
+- :mod:`~repro.proxysim.redirect` — redirection policies: none,
+  LP (centralized, transitive), endpoint (proportional, Figure 13's
+  baseline), greedy.
+"""
+
+from .config import ServiceModel, SimulationConfig
+from .metrics import SimulationResult
+from .redirect import (
+    EndpointPolicy,
+    GreedyPolicy,
+    LPPolicy,
+    NoSharingPolicy,
+    RedirectPolicy,
+    make_policy,
+)
+from .simulator import ProxySimulation, run_simulation
+
+__all__ = [
+    "ServiceModel",
+    "SimulationConfig",
+    "SimulationResult",
+    "ProxySimulation",
+    "run_simulation",
+    "RedirectPolicy",
+    "NoSharingPolicy",
+    "LPPolicy",
+    "EndpointPolicy",
+    "GreedyPolicy",
+    "make_policy",
+]

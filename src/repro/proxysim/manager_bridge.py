@@ -1,0 +1,106 @@
+"""Driving the proxy simulation through the GRM/LRM manager protocol.
+
+The benchmark runs use :class:`~repro.proxysim.redirect.LPPolicy`, which
+calls the allocator directly for speed.  :class:`ManagerPolicy` instead
+routes every scheduler consultation through the Section-3.2 architecture:
+availability reports and allocation requests travel as messages to a
+:class:`~repro.manager.grm.GlobalResourceManager` holding the agreements
+as a ticket/currency bank.  Results are identical (the GRM runs the same
+LP); what this buys is end-to-end exercise of the deployment path — and a
+place where agreement changes made on the *bank* (revoking a ticket)
+immediately affect scheduling decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..economy.bank import Bank
+from ..manager.grm import GlobalResourceManager
+from ..manager.messages import AllocationGrant, AllocationRequestMsg, AvailabilityReport
+from ..manager.transport import InProcessTransport
+from .redirect import RedirectPolicy
+
+__all__ = ["ManagerPolicy", "bank_for_structure"]
+
+
+def bank_for_structure(system) -> Bank:
+    """Express an :class:`~repro.agreements.AgreementSystem`'s relative
+    agreements as tickets in a fresh bank (capacities are reported live by
+    the simulator, so no base deposits are made)."""
+    bank = Bank()
+    for p in system.principals:
+        bank.create_currency(p, face_value=100.0)
+    n = system.n
+    for i in range(n):
+        for j in range(n):
+            if i != j and system.S[i, j] > 0:
+                bank.issue_relative_ticket(
+                    system.principals[i],
+                    system.principals[j],
+                    100.0 * float(system.S[i, j]),
+                )
+    return bank
+
+
+class ManagerPolicy(RedirectPolicy):
+    """A redirect policy backed by a GRM over a message transport.
+
+    Each :meth:`plan` call sends one availability report per proxy
+    followed by an allocation request, exactly as LRMs would.
+    """
+
+    def __init__(self, system, level: int | None = None):
+        self.systemish = system
+        self.level = level
+        self.n = system.n
+        self.principals = list(system.principals)
+        self.transport = InProcessTransport()
+        self.bank = bank_for_structure(system)
+        self.grm = GlobalResourceManager("grm", self.bank)
+        self.grm.attach(self.transport)
+        self.messages = 0
+
+    def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
+        # LRM availability reports.
+        for k, principal in enumerate(self.principals):
+            self.transport.send(
+                "grm",
+                AvailabilityReport(
+                    sender=principal,
+                    resource_type="general",
+                    available=float(avail[k]),
+                ),
+            )
+        reply = self.transport.send(
+            "grm",
+            AllocationRequestMsg(
+                sender=self.principals[requester],
+                principal=self.principals[requester],
+                amount=float(excess),
+                level=self.level,
+            ),
+        )
+        if not isinstance(reply, AllocationGrant):
+            # The GRM uses request/deny semantics; an overloaded proxy
+            # re-requests what the denial quoted as available.
+            available = getattr(reply, "available", 0.0)
+            if available > 1e-9:
+                reply = self.transport.send(
+                    "grm",
+                    AllocationRequestMsg(
+                        sender=self.principals[requester],
+                        principal=self.principals[requester],
+                        amount=float(available) * (1 - 1e-9),
+                        level=self.level,
+                    ),
+                )
+        self.messages = self.transport.delivered
+        self.lp_solves = self.grm.requests_served + self.grm.requests_denied
+        take = np.zeros(self.n)
+        if isinstance(reply, AllocationGrant):
+            for principal, amount in reply.takes:
+                take[self.principals.index(principal)] = amount
+        # Denials and any unplaced remainder stay local.
+        take[requester] += max(excess - take.sum(), 0.0)
+        return take

@@ -1,0 +1,141 @@
+"""Result types for the proxy simulation.
+
+Everything the paper's figures plot comes out of one
+:class:`SimulationResult`: per-10-minute-slot request counts and mean
+waiting times (per origin proxy and aggregated), worst-case (peak-slot)
+waits, and redirection statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..des.stats import SlotSeries, SummaryStats
+from ..workload.diurnal import DAY_SECONDS
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Statistics from one simulation run (measured days only).
+
+    Waiting times are keyed by the request's *arrival* time-of-day and its
+    *origin* proxy (so a redirected request counts at the ISP whose client
+    issued it, as in the paper's per-ISP curves).
+    """
+
+    n_proxies: int
+    slot_width: float = 600.0
+    waits_by_proxy: list[SlotSeries] = field(default_factory=list)
+    waits_all: SlotSeries = None  # type: ignore[assignment]
+    redirects: SlotSeries = None  # type: ignore[assignment]
+    total_requests: int = 0
+    total_redirected: int = 0
+    scheduler_consults: int = 0
+    lp_solves: int = 0
+    local_wait_stats: SummaryStats = field(default_factory=SummaryStats)
+    redirected_wait_stats: SummaryStats = field(default_factory=SummaryStats)
+    """Wait aggregates split by whether the request was ever redirected —
+    the paper notes redirected requests pay a penalty that still beats
+    their counterfactual local wait."""
+
+    def __post_init__(self) -> None:
+        if not self.waits_by_proxy:
+            self.waits_by_proxy = [
+                SlotSeries(DAY_SECONDS, self.slot_width)
+                for _ in range(self.n_proxies)
+            ]
+        if self.waits_all is None:
+            self.waits_all = SlotSeries(DAY_SECONDS, self.slot_width)
+        if self.redirects is None:
+            self.redirects = SlotSeries(DAY_SECONDS, self.slot_width)
+
+    # -- recording (used by the simulator) ---------------------------------
+
+    def record_wait(
+        self, origin: int, arrival: float, wait: float, redirected: bool = False
+    ) -> None:
+        self.waits_by_proxy[origin].record(arrival, wait)
+        self.waits_all.record(arrival, wait)
+        self.total_requests += 1
+        if redirected:
+            self.redirected_wait_stats.record(wait)
+        else:
+            self.local_wait_stats.record(wait)
+
+    def record_redirect(self, time: float, count: int = 1) -> None:
+        for _ in range(count):
+            self.redirects.record(time, 1.0)
+        self.total_redirected += count
+
+    # -- queries (what the figures plot) --------------------------------------
+
+    def mean_wait_series(self, proxy: int | None = 0) -> np.ndarray:
+        """Per-slot mean waiting time; ``proxy=None`` aggregates all ISPs."""
+        series = self.waits_all if proxy is None else self.waits_by_proxy[proxy]
+        return series.means()
+
+    def request_count_series(self, proxy: int | None = 0) -> np.ndarray:
+        series = self.waits_all if proxy is None else self.waits_by_proxy[proxy]
+        return series.counts()
+
+    def slot_times(self) -> np.ndarray:
+        return self.waits_all.slot_times()
+
+    def combined_series(self, origins) -> SlotSeries:
+        """Merge the wait series of a set of origin proxies.
+
+        Used by the loop experiments (Figures 9-11): with n proxies on an
+        n-index ring but skews spanning only n hours of a 24-hour day, a
+        proxy whose donor index wraps (``i - skip < 0``) does not actually
+        have a donor ``skip`` hours away, so those figures aggregate over
+        the proxies whose donors are genuine.
+        """
+        merged = SlotSeries(self.waits_all.horizon, self.slot_width)
+        for o in origins:
+            merged.merge(self.waits_by_proxy[o])
+        return merged
+
+    def worst_case_wait_over(self, origins) -> float:
+        """Peak per-slot mean wait over a set of origin proxies."""
+        return self.combined_series(origins).peak_mean()
+
+    def worst_case_wait(self, proxy: int | None = 0) -> float:
+        """Peak per-slot mean wait — the figures' 'worst-case waiting time'."""
+        series = self.waits_all if proxy is None else self.waits_by_proxy[proxy]
+        return series.peak_mean()
+
+    def overall_mean_wait(self, proxy: int | None = None) -> float:
+        series = self.waits_all if proxy is None else self.waits_by_proxy[proxy]
+        return series.overall_mean()
+
+    def redirect_fraction(self) -> float:
+        """Fraction of all requests that were redirected (Figure 12 quotes
+        < 1.5% overall for the complete graph)."""
+        return self.total_redirected / self.total_requests if self.total_requests else 0.0
+
+    def peak_redirect_fraction(self) -> float:
+        """Worst per-slot redirected fraction (Figure 12 quotes < 6% at peak)."""
+        red = self.redirects.counts().astype(float)
+        req = self.waits_all.counts().astype(float)
+        mask = req > 0
+        if not mask.any():
+            return 0.0
+        return float(np.max(red[mask] / req[mask]))
+
+    def summary(self) -> dict:
+        """Scalar digest used by the experiment tables."""
+        return {
+            "total_requests": self.total_requests,
+            "total_redirected": self.total_redirected,
+            "redirect_fraction": round(self.redirect_fraction(), 5),
+            "mean_wait": round(self.overall_mean_wait(), 4),
+            "worst_case_wait_isp0": round(self.worst_case_wait(0), 4),
+            "worst_case_wait_all": round(self.worst_case_wait(None), 4),
+            "scheduler_consults": self.scheduler_consults,
+            "mean_wait_local": round(self.local_wait_stats.mean, 4),
+            "mean_wait_redirected": round(self.redirected_wait_stats.mean, 4),
+        }

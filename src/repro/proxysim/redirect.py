@@ -1,0 +1,183 @@
+"""Redirection policies: how a consult turns excess work into a plan.
+
+Every policy answers one question: given that proxy ``a`` has ``excess``
+seconds of queued work it wants to shed, and each proxy currently has
+``avail[k]`` seconds of spare processing capacity over the scheduler's
+lookahead window, how much work goes to whom?
+
+- :class:`NoSharingPolicy` — the Figure-5 baseline: nothing moves;
+- :class:`LPPolicy` — the paper's scheme: the Section-3 LP over the
+  agreement system, enforcing (level-limited) transitive flow bounds and
+  minimising global perturbation;
+- :class:`EndpointPolicy` — Figure 13's baseline: proportional to direct
+  agreement quantities, blind to remote availability;
+- :class:`GreedyPolicy` — availability-aware but agreement-bound greedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..agreements.matrix import AgreementSystem
+from ..allocation.endpoint import allocate_endpoint
+from ..allocation.greedy import allocate_greedy
+from ..allocation.lp_allocator import allocate_lp
+from ..errors import SimulationError
+
+__all__ = [
+    "RedirectPolicy",
+    "NoSharingPolicy",
+    "LPPolicy",
+    "EndpointPolicy",
+    "GreedyPolicy",
+    "make_policy",
+]
+
+
+class RedirectPolicy:
+    """Interface: :meth:`plan` returns per-proxy take amounts."""
+
+    #: number of LP solves performed (for instrumentation)
+    lp_solves: int = 0
+
+    def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
+        """Amount of the requester's excess work each proxy should absorb.
+
+        Entry ``requester`` means "keep local"; the vector sums to at most
+        ``excess``.  ``avail[k]`` is proxy ``k``'s spare capacity (seconds
+        of work) over the lookahead window; ``avail[requester]`` is 0 by
+        construction (it is consulting precisely because it has none).
+        """
+        raise NotImplementedError
+
+
+class NoSharingPolicy(RedirectPolicy):
+    """No agreements enforced; all work stays where it arrived."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+    def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
+        take = np.zeros(self.n)
+        take[requester] = excess  # "keep local" — i.e. no redirection
+        return take
+
+
+class _SystemPolicy(RedirectPolicy):
+    """Shared plumbing: rebuild the agreement system with live availability."""
+
+    def __init__(self, system: AgreementSystem):
+        self.system = system
+        self.n = system.n
+
+    def _live(self, avail: np.ndarray) -> AgreementSystem:
+        if avail.shape != (self.n,):
+            raise SimulationError(
+                f"availability vector must have length {self.n}"
+            )
+        return self.system.with_capacities(np.maximum(avail, 0.0))
+
+
+class LPPolicy(_SystemPolicy):
+    """Centralized LP enforcement with transitive agreements (the paper)."""
+
+    def __init__(
+        self,
+        system: AgreementSystem,
+        level: int | None = None,
+        formulation: str = "reduced",
+        backend: str = "scipy",
+    ):
+        super().__init__(system)
+        self.level = level
+        self.formulation = formulation
+        self.backend = backend
+
+    def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
+        live = self._live(avail)
+        self.lp_solves += 1
+        allocation = allocate_lp(
+            live,
+            live.principals[requester],
+            excess,
+            level=self.level,
+            formulation=self.formulation,
+            backend=self.backend,
+            partial=True,
+        )
+        take = allocation.take.copy()
+        # Anything the agreements cannot place stays local.
+        take[requester] += max(excess - allocation.satisfied, 0.0)
+        return take
+
+
+class EndpointPolicy(_SystemPolicy):
+    """Figure 13's proportional, availability-blind endpoint scheme.
+
+    Donor weights come from the *agreement quantities alone* — the nominal
+    share of each donor's rated capacity, not its live availability —
+    because endpoints enforcing their own agreements cannot see remote
+    queues.  Redirected work may therefore land on a busy donor.
+    """
+
+    def __init__(self, system: AgreementSystem, rated: np.ndarray):
+        super().__init__(system)
+        self.rated = np.asarray(rated, dtype=float)
+        if self.rated.shape != (self.n,):
+            raise SimulationError(f"rated capacities must have length {self.n}")
+
+    def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
+        rated = self.rated.copy()
+        rated[requester] = 0.0  # the excess is precisely what cannot stay
+        nominal = self.system.with_capacities(rated)
+        allocation = allocate_endpoint(
+            nominal, nominal.principals[requester], excess, partial=True
+        )
+        take = allocation.take.copy()
+        take[requester] += max(excess - allocation.satisfied, 0.0)
+        return take
+
+
+class GreedyPolicy(_SystemPolicy):
+    """Most-available-donor-first, bounded by direct+transitive agreements."""
+
+    def __init__(self, system: AgreementSystem, level: int | None = None):
+        super().__init__(system)
+        self.level = level
+
+    def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
+        live = self._live(avail)
+        allocation = allocate_greedy(
+            live, live.principals[requester], excess,
+            level=self.level, partial=True,
+        )
+        take = allocation.take.copy()
+        take[requester] += max(excess - allocation.satisfied, 0.0)
+        return take
+
+
+def make_policy(config, system: AgreementSystem | None) -> RedirectPolicy:
+    """Build the policy named by ``config.scheme``."""
+    if config.scheme == "none":
+        return NoSharingPolicy(config.n_proxies)
+    if system is None:
+        raise SimulationError(
+            f"scheme {config.scheme!r} needs an agreement system"
+        )
+    if system.n != config.n_proxies:
+        raise SimulationError(
+            f"agreement system has {system.n} principals but the simulation "
+            f"has {config.n_proxies} proxies"
+        )
+    if config.scheme == "lp":
+        return LPPolicy(
+            system,
+            level=config.level,
+            formulation=config.allocator_formulation,
+            backend=config.allocator_backend,
+        )
+    if config.scheme == "endpoint":
+        return EndpointPolicy(system, config.capacities() * config.lookahead)
+    if config.scheme == "greedy":
+        return GreedyPolicy(system, level=config.level)
+    raise SimulationError(f"unknown scheme {config.scheme!r}")  # pragma: no cover

@@ -1,0 +1,228 @@
+"""The proxy-group simulation loop (Figure 4's model).
+
+Each proxy owns a single-server :class:`~repro.des.queues.WorkQueue`.
+Client requests arrive on per-proxy diurnal streams; each consumes
+``min(a + b*length, c)`` seconds of the collapsed "general" resource.
+Every ``epoch`` seconds the scheduler inspects front-end queues; a proxy
+whose queued work exceeds ``threshold`` consults the global scheduler,
+which plans redirections under the configured policy.  Redirected requests
+reach their donor after ``redirect_cost`` seconds and keep their original
+arrival timestamp, so their recorded waiting time includes both the local
+queueing already suffered and the transfer overhead.
+
+Statistics cover the final ``measure_days`` (the warmup day lets queues
+reach the diurnal steady state the paper's 18-day trace average implies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..agreements.matrix import AgreementSystem
+from ..des.engine import Engine
+from ..des.queues import QueuedItem, WorkQueue
+from ..workload.generator import Request, generate_streams
+from .config import SimulationConfig
+from .metrics import SimulationResult
+from .redirect import RedirectPolicy, make_policy
+
+__all__ = ["ProxySimulation", "run_simulation"]
+
+
+class ProxySimulation:
+    """One configured run over one sampled workload.
+
+    ::
+
+        system = complete_structure(10, share=0.1)
+        cfg = SimulationConfig.scaled(gap=3600.0, scheme="lp")
+        result = ProxySimulation(cfg, system).run()
+        result.worst_case_wait(0)
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        system: AgreementSystem | None = None,
+        streams: list[list[Request]] | None = None,
+        system_updates: list[tuple[float, AgreementSystem]] | None = None,
+    ):
+        """``system_updates`` is an optional schedule of agreement changes:
+        ``[(time, new_system), ...]`` applied at the first epoch tick at or
+        after each time — modelling the paper's dynamically renegotiated
+        or revoked agreements (principals joining/leaving, tickets revoked).
+        """
+        self.config = config
+        self.system = system
+        self.policy: RedirectPolicy = make_policy(config, system)
+        self._system_updates = sorted(system_updates or [], key=lambda u: u[0])
+        self._next_update = 0
+        self._lp_solves_retired = 0  # from policies replaced by updates
+        capacities = config.capacities()
+        self.queues = [WorkQueue(rate=float(r)) for r in capacities]
+        self.capacities = capacities
+        if streams is None:
+            streams = generate_streams(
+                config.n_proxies,
+                config.base_profile(),
+                config.gap,
+                sizes=config.sizes,
+                horizon=config.horizon,
+                seed=config.seed,
+            )
+        if len(streams) != config.n_proxies:
+            raise ValueError(
+                f"got {len(streams)} streams for {config.n_proxies} proxies"
+            )
+        self.streams = streams
+        self._cursor = [0] * config.n_proxies
+        # Per-proxy expected service work per second over the day (the load
+        # information LRMs report to the GRM): lambda_i(t) * E[service].
+        base = config.base_profile()
+        mean_service = config.service.mean_service(config.sizes)
+        self._profiles = [
+            base.with_skew(i * config.gap) for i in range(config.n_proxies)
+        ]
+        self._mean_service = mean_service
+        self.result = SimulationResult(
+            n_proxies=config.n_proxies, slot_width=config.slot_width
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _push_arrivals(self, proxy: int, until: float) -> None:
+        """Move stream arrivals with time <= until into the proxy's queue."""
+        stream = self.streams[proxy]
+        i = self._cursor[proxy]
+        queue = self.queues[proxy]
+        service = self.config.service
+        while i < len(stream) and stream[i].arrival <= until:
+            req = stream[i]
+            queue.push(
+                QueuedItem(
+                    arrival=req.arrival,
+                    service=service.service_time(req.length),
+                    payload=req,
+                )
+            )
+            i += 1
+        self._cursor[proxy] = i
+
+    def _on_served(self, item: QueuedItem, start: float) -> None:
+        req: Request = item.payload
+        if req.arrival >= self.config.measure_start:
+            self.result.record_wait(
+                req.origin,
+                req.arrival,
+                max(start - req.arrival, 0.0),
+                redirected=item.hops > 0,
+            )
+
+    def _availability(self, now: float) -> np.ndarray:
+        """Spare work capacity (seconds) per proxy over the lookahead window.
+
+        Committed work counts the queue backlog, the in-service remainder,
+        and (when ``config.project_arrivals``) the work the proxy's *own*
+        clients are expected to bring during the window — the load report
+        an LRM would send the GRM.  Without the projection the scheduler
+        happily parks work on a donor that is minutes from its own rush
+        hour.
+        """
+        cfg = self.config
+        W = cfg.lookahead
+        avail = np.empty(cfg.n_proxies)
+        for k, q in enumerate(self.queues):
+            committed = q.backlog + max(q._server_free_at - now, 0.0) * q.rate
+            weight = float(cfg.project_arrivals)
+            if weight > 0.0:
+                committed += weight * (
+                    self._profiles[k].expected_count(now, now + W, steps=4)
+                    * self._mean_service
+                )
+            avail[k] = max(self.capacities[k] * W - committed, 0.0)
+        return avail
+
+    def _consult(self, proxy: int, now: float) -> None:
+        """Ask the scheduler to shed this proxy's excess queued work."""
+        cfg = self.config
+        queue = self.queues[proxy]
+        excess = queue.backlog - cfg.threshold / 2.0
+        if excess <= 0:
+            return
+        avail = self._availability(now)
+        avail[proxy] = 0.0  # the requester is consulting because it has none
+        self.result.scheduler_consults += 1
+        take = self.policy.plan(proxy, excess, avail)
+        for donor in np.argsort(-take):
+            donor = int(donor)
+            if donor == proxy or take[donor] <= 1e-9:
+                continue
+            moved = queue.pop_tail(float(take[donor]), cfg.max_hops)
+            if not moved:
+                continue
+            target = self.queues[donor]
+            for item in moved:
+                item.ready = now + cfg.redirect_cost
+                item.hops += 1
+                target.push(item)
+            self.result.record_redirect(now, len(moved))
+
+    def _apply_system_updates(self, now: float) -> None:
+        while (
+            self._next_update < len(self._system_updates)
+            and self._system_updates[self._next_update][0] <= now
+        ):
+            _, new_system = self._system_updates[self._next_update]
+            if new_system.n != self.config.n_proxies:
+                raise ValueError(
+                    "scheduled agreement system has the wrong principal count"
+                )
+            self.system = new_system
+            self._lp_solves_retired += getattr(self.policy, "lp_solves", 0)
+            self.policy = make_policy(self.config, new_system)
+            self._next_update += 1
+
+    def _epoch_tick(self, engine: Engine) -> None:
+        now = engine.now
+        cfg = self.config
+        if self._system_updates:
+            self._apply_system_updates(now)
+        for p in range(cfg.n_proxies):
+            self._push_arrivals(p, now)
+            self.queues[p].advance(now, self._on_served)
+        if cfg.scheme != "none":
+            order = sorted(
+                range(cfg.n_proxies),
+                key=lambda p: -self.queues[p].backlog,
+            )
+            for p in order:
+                if self.queues[p].backlog > cfg.threshold:
+                    self._consult(p, now)
+        if now + cfg.epoch <= cfg.horizon + 1e-9:
+            engine.schedule(cfg.epoch, lambda: self._epoch_tick(engine))
+
+    # -- API --------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its statistics."""
+        engine = Engine()
+        engine.schedule(self.config.epoch, lambda: self._epoch_tick(engine))
+        engine.run(until=self.config.horizon)
+        # Flush: push any remaining arrivals, then serve everything.
+        for p in range(self.config.n_proxies):
+            self._push_arrivals(p, float("inf"))
+            self.queues[p].drain(self._on_served)
+        self.result.lp_solves = (
+            self._lp_solves_retired + getattr(self.policy, "lp_solves", 0)
+        )
+        return self.result
+
+
+def run_simulation(
+    config: SimulationConfig,
+    system: AgreementSystem | None = None,
+    streams: list[list[Request]] | None = None,
+    system_updates: list[tuple[float, AgreementSystem]] | None = None,
+) -> SimulationResult:
+    """Convenience one-shot wrapper around :class:`ProxySimulation`."""
+    return ProxySimulation(config, system, streams, system_updates).run()

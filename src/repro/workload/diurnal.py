@@ -1,0 +1,122 @@
+"""Diurnal arrival-rate profile.
+
+Figure 5 of the paper shows the Berkeley Home-IP request rate over 24
+hours: "the proxy load is heaviest around midnight and lightest around the
+early morning hours".  We model the rate as a truncated Fourier series over
+the day::
+
+    lambda(t) = base * (1 + a1*cos(w - phase1) + a2*cos(2*w - phase2)),
+    w = 2*pi*(t - skew)/day
+
+with defaults least-squares fitted to the shape of the paper's solid line:
+peak ~22:30 ("heaviest around midnight"), trough ~06:00 ("lightest around
+the early morning hours"), a moderate daytime plateau, and a peak-to-
+trough ratio of ~4.3.  The profile is deterministic; randomness enters
+only when sampling arrivals (:class:`~repro.workload.generator.RequestStream`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["DiurnalProfile", "DAY_SECONDS"]
+
+DAY_SECONDS = 86_400.0
+
+
+@dataclass(frozen=True)
+class DiurnalProfile:
+    """Arrival-rate profile over a wrapped 24-hour day.
+
+    Parameters
+    ----------
+    requests_per_day:
+        Expected number of requests per day (sets ``base``).
+    a1, phase1, a2, phase2:
+        Fourier coefficients; defaults are fitted to Figure 5's request
+        curve (late-evening peak, early-morning trough, daytime plateau).
+    skew:
+        Time shift (seconds): a proxy in a time zone ``g`` seconds away
+        sees the same profile shifted by ``g`` — the experiments' "gap".
+    """
+
+    requests_per_day: float = 86_400.0
+    a1: float = 0.4467
+    phase1: float = -0.8267
+    a2: float = 0.3091
+    phase2: float = -0.4588
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.requests_per_day <= 0:
+            raise WorkloadError("requests_per_day must be positive")
+        # The profile must stay positive: |a1| + |a2| < 1.
+        if abs(self.a1) + abs(self.a2) >= 1.0:
+            raise WorkloadError(
+                f"|a1| + |a2| must be < 1 to keep the rate positive "
+                f"(got {abs(self.a1) + abs(self.a2):g})"
+            )
+
+    @property
+    def base_rate(self) -> float:
+        """Mean arrival rate (requests/second)."""
+        return self.requests_per_day / DAY_SECONDS
+
+    def rate(self, t) -> np.ndarray | float:
+        """Instantaneous arrival rate at time(s) ``t`` (wraps daily)."""
+        tt = (np.asarray(t, dtype=float) - self.skew) % DAY_SECONDS
+        w = 2.0 * math.pi * tt / DAY_SECONDS
+        shape = (
+            1.0
+            + self.a1 * np.cos(w - self.phase1)
+            + self.a2 * np.cos(2.0 * w - self.phase2)
+        )
+        out = self.base_rate * shape
+        return float(out) if np.isscalar(t) else out
+
+    @property
+    def peak_rate(self) -> float:
+        """Maximum of :meth:`rate` over the day (evaluated on a fine grid)."""
+        t = np.linspace(0.0, DAY_SECONDS, 2881)
+        return float(np.max(self.rate(t)))
+
+    @property
+    def trough_rate(self) -> float:
+        t = np.linspace(0.0, DAY_SECONDS, 2881)
+        return float(np.min(self.rate(t)))
+
+    def with_skew(self, skew: float) -> "DiurnalProfile":
+        """Same profile shifted by ``skew`` seconds (another time zone)."""
+        return DiurnalProfile(
+            requests_per_day=self.requests_per_day,
+            a1=self.a1,
+            phase1=self.phase1,
+            a2=self.a2,
+            phase2=self.phase2,
+            skew=self.skew + skew,
+        )
+
+    def scaled(self, factor: float) -> "DiurnalProfile":
+        """Same shape with ``factor``-times the volume."""
+        if factor <= 0:
+            raise WorkloadError("scale factor must be positive")
+        return DiurnalProfile(
+            requests_per_day=self.requests_per_day * factor,
+            a1=self.a1,
+            phase1=self.phase1,
+            a2=self.a2,
+            phase2=self.phase2,
+            skew=self.skew,
+        )
+
+    def expected_count(self, t0: float, t1: float, steps: int = 256) -> float:
+        """Integral of the rate over [t0, t1] (trapezoidal)."""
+        if t1 < t0:
+            raise WorkloadError(f"bad interval [{t0}, {t1}]")
+        t = np.linspace(t0, t1, steps + 1)
+        return float(np.trapezoid(self.rate(t), t))

@@ -1,0 +1,111 @@
+"""Response-length distributions.
+
+The paper's per-request resource model is linear in the response length
+(``a + b*x`` seconds, capped at ``c``), so the length distribution shapes
+the service-time distribution.  Mid-90s web-object studies (including the
+Berkeley Home-IP trace the paper uses) report a log-normal body with a
+heavy (Pareto) tail and a mean of roughly 6–15 KB; both families are
+provided, plus a hybrid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+__all__ = ["SizeDistribution", "LogNormalSizes", "ParetoSizes", "HybridSizes"]
+
+
+class SizeDistribution:
+    """Base class: draw response lengths in bytes."""
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LogNormalSizes(SizeDistribution):
+    """Log-normal lengths: the body of observed web-object distributions.
+
+    Defaults (``median=6000``, ``sigma=1.2``) give a mean of ~12.3 KB.
+    """
+
+    median: float = 6_000.0
+    sigma: float = 1.2
+    max_bytes: float = 100e6
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise WorkloadError("median and sigma must be positive")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        draws = rng.lognormal(mean=math.log(self.median), sigma=self.sigma, size=n)
+        return np.minimum(draws, self.max_bytes)
+
+    @property
+    def mean(self) -> float:
+        return float(self.median * math.exp(self.sigma**2 / 2.0))
+
+
+@dataclass(frozen=True)
+class ParetoSizes(SizeDistribution):
+    """Pareto lengths: the heavy tail of web objects.
+
+    ``alpha`` just above 1 yields the very long transfers that the
+    paper's cap ``c`` exists to contain ("to avoid extremely long response
+    lengths from causing spikes in the waiting time").
+    """
+
+    minimum: float = 1_000.0
+    alpha: float = 1.3
+    max_bytes: float = 100e6
+
+    def __post_init__(self) -> None:
+        if self.minimum <= 0:
+            raise WorkloadError("minimum must be positive")
+        if self.alpha <= 1.0:
+            raise WorkloadError("alpha must exceed 1 for a finite mean")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        draws = self.minimum * (1.0 + rng.pareto(self.alpha, size=n))
+        return np.minimum(draws, self.max_bytes)
+
+    @property
+    def mean(self) -> float:
+        return float(self.minimum * self.alpha / (self.alpha - 1.0))
+
+
+@dataclass(frozen=True)
+class HybridSizes(SizeDistribution):
+    """Log-normal body with a Pareto tail, mixed by ``tail_fraction``."""
+
+    body: LogNormalSizes = LogNormalSizes()
+    tail: ParetoSizes = ParetoSizes(minimum=30_000.0, alpha=1.2)
+    tail_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.tail_fraction <= 1.0):
+            raise WorkloadError("tail_fraction must be in [0, 1]")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        out = self.body.sample(rng, n)
+        mask = rng.random(n) < self.tail_fraction
+        k = int(mask.sum())
+        if k:
+            out[mask] = self.tail.sample(rng, k)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return float(
+            (1.0 - self.tail_fraction) * self.body.mean
+            + self.tail_fraction * self.tail.mean
+        )

@@ -1,0 +1,78 @@
+"""Weekly profiles: day-of-week modulation over the diurnal shape.
+
+The paper averages 18 days of trace into one 24-hour period, flattening
+weekday/weekend differences.  For users running multi-day simulations
+with their own traffic, :class:`WeeklyProfile` wraps a
+:class:`~repro.workload.diurnal.DiurnalProfile` with one volume factor
+per weekday (Monday = index 0) while keeping the same intra-day shape.
+It duck-types the profile interface used by
+:class:`~repro.workload.generator.RequestStream` and the simulator's
+availability projection (``rate``, ``expected_count``, ``with_skew``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .diurnal import DAY_SECONDS, DiurnalProfile
+
+__all__ = ["WeeklyProfile", "WEEK_SECONDS"]
+
+WEEK_SECONDS = 7 * DAY_SECONDS
+
+#: A typical web-service pattern: slightly heavier mid-week, lighter weekend.
+DEFAULT_DAY_FACTORS = (1.05, 1.1, 1.1, 1.05, 1.0, 0.85, 0.85)
+
+
+@dataclass(frozen=True)
+class WeeklyProfile:
+    """A diurnal profile modulated by per-weekday volume factors.
+
+    ``day_factors[d]`` scales the whole of weekday ``d`` (time
+    ``[d*86400, (d+1)*86400)`` modulo one week).  The mean of the factors
+    is normalised out so ``requests_per_day`` of the base profile remains
+    the weekly average.
+    """
+
+    base: DiurnalProfile = field(default_factory=DiurnalProfile)
+    day_factors: tuple = DEFAULT_DAY_FACTORS
+
+    def __post_init__(self) -> None:
+        if len(self.day_factors) != 7:
+            raise WorkloadError("day_factors must have exactly 7 entries")
+        if any(f <= 0 for f in self.day_factors):
+            raise WorkloadError("day factors must be positive")
+
+    @property
+    def _normalised(self) -> np.ndarray:
+        f = np.asarray(self.day_factors, dtype=float)
+        return f / f.mean()
+
+    @property
+    def requests_per_day(self) -> float:
+        return self.base.requests_per_day
+
+    @property
+    def skew(self) -> float:
+        return self.base.skew
+
+    def rate(self, t):
+        tt = np.asarray(t, dtype=float)
+        day = (((tt - self.base.skew) % WEEK_SECONDS) // DAY_SECONDS).astype(int)
+        out = self.base.rate(tt) * self._normalised[day]
+        return float(out) if np.isscalar(t) else out
+
+    def with_skew(self, skew: float) -> "WeeklyProfile":
+        return WeeklyProfile(self.base.with_skew(skew), self.day_factors)
+
+    def scaled(self, factor: float) -> "WeeklyProfile":
+        return WeeklyProfile(self.base.scaled(factor), self.day_factors)
+
+    def expected_count(self, t0: float, t1: float, steps: int = 256) -> float:
+        if t1 < t0:
+            raise WorkloadError(f"bad interval [{t0}, {t1}]")
+        t = np.linspace(t0, t1, steps + 1)
+        return float(np.trapezoid(self.rate(t), t))

@@ -1,0 +1,208 @@
+"""Tests for the transitive flow computation (T, I, K, U, C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreements.flow import (
+    capacities,
+    flow_matrix,
+    overdraft_clamp,
+    transitive_coefficients,
+    u_matrix,
+)
+from repro.errors import AgreementError
+
+
+def random_S(seed: int, n: int, density: float = 1.0, scale: float = 0.3):
+    rng = np.random.default_rng(seed)
+    S = rng.random((n, n)) * scale
+    S *= rng.random((n, n)) < density
+    np.fill_diagonal(S, 0.0)
+    return S
+
+
+class TestCoefficientsBasics:
+    def test_level_zero_is_zero(self):
+        S = random_S(0, 5)
+        assert not np.any(transitive_coefficients(S, 0))
+
+    def test_level_one_is_S(self):
+        S = random_S(1, 6)
+        np.testing.assert_allclose(transitive_coefficients(S, 1), S)
+
+    def test_two_node_chain(self):
+        # 0 -> 1 -> 2: T_02 at level 2 = S01*S12.
+        S = np.zeros((3, 3))
+        S[0, 1], S[1, 2] = 0.5, 0.4
+        T1 = transitive_coefficients(S, 1)
+        assert T1[0, 2] == 0.0
+        T2 = transitive_coefficients(S, 2)
+        assert T2[0, 2] == pytest.approx(0.2)
+        assert T2[0, 1] == pytest.approx(0.5)
+
+    def test_direct_plus_indirect_accumulate(self):
+        # 0->2 direct and 0->1->2: both paths sum.
+        S = np.zeros((3, 3))
+        S[0, 2], S[0, 1], S[1, 2] = 0.1, 0.5, 0.4
+        T = transitive_coefficients(S)
+        assert T[0, 2] == pytest.approx(0.1 + 0.2)
+
+    def test_cycle_does_not_blow_up(self):
+        # 0->1->0 cycle: simple paths cannot revisit, so T stays finite
+        # and equals the single-edge shares.
+        S = np.zeros((2, 2))
+        S[0, 1] = S[1, 0] = 0.9
+        T = transitive_coefficients(S)
+        np.testing.assert_allclose(T, S)
+
+    def test_diagonal_always_zero(self):
+        S = random_S(3, 7)
+        for m in (1, 3, 6):
+            assert not np.any(np.diag(transitive_coefficients(S, m)))
+
+    def test_monotone_in_level(self):
+        S = random_S(4, 7)
+        prev = np.zeros((7, 7))
+        for m in range(1, 7):
+            T = transitive_coefficients(S, m)
+            assert np.all(T >= prev - 1e-12)
+            prev = T
+
+    def test_levels_beyond_closure_add_nothing(self):
+        S = random_S(5, 6)
+        T_full = transitive_coefficients(S, 5)
+        T_more = transitive_coefficients(S, 50)
+        np.testing.assert_allclose(T_full, T_more)
+
+    def test_none_means_full_closure(self):
+        S = random_S(6, 6)
+        np.testing.assert_allclose(
+            transitive_coefficients(S), transitive_coefficients(S, 5)
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AgreementError):
+            transitive_coefficients(np.zeros((2, 3)))
+        with pytest.raises(AgreementError):
+            transitive_coefficients(np.zeros((3, 3)), -1)
+        with pytest.raises(AgreementError):
+            transitive_coefficients(np.zeros((3, 3)), 2, method="magic")
+
+
+class TestMethodAgreement:
+    @pytest.mark.parametrize("n", [2, 4, 6, 8])
+    @pytest.mark.parametrize("level", [1, 2, None])
+    def test_dp_matches_dfs_oracle(self, n, level):
+        S = random_S(42 + n, n)
+        T_dp = transitive_coefficients(S, level, "dp")
+        T_dfs = transitive_coefficients(S, level, "dfs")
+        np.testing.assert_allclose(T_dp, T_dfs, atol=1e-12)
+
+    @given(st.integers(0, 10_000), st.integers(2, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_dp_matches_dfs_property(self, seed, n):
+        S = random_S(seed, n, density=0.7)
+        for m in (1, 2, n - 1):
+            np.testing.assert_allclose(
+                transitive_coefficients(S, m, "dp"),
+                transitive_coefficients(S, m, "dfs"),
+                atol=1e-12,
+            )
+
+    @given(st.integers(0, 10_000), st.integers(2, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_walk_upper_bounds_exact(self, seed, n):
+        S = random_S(seed, n)
+        T = transitive_coefficients(S, None, "dp")
+        W = transitive_coefficients(S, n - 1, "walk")
+        assert np.all(W >= T - 1e-12)
+
+    def test_walk_equals_exact_on_dags(self):
+        # Without cycles, walks are simple paths, so the methods coincide.
+        n = 6
+        S = np.triu(random_S(7, n), k=1)
+        np.testing.assert_allclose(
+            transitive_coefficients(S, None, "walk")[np.triu_indices(n, 1)],
+            transitive_coefficients(S, None, "dp")[np.triu_indices(n, 1)],
+            atol=1e-12,
+        )
+
+
+class TestFlowAndCapacities:
+    def test_flow_scales_by_capacity(self):
+        S = random_S(8, 4)
+        T = transitive_coefficients(S)
+        V = np.array([1.0, 2.0, 0.0, 5.0])
+        I = flow_matrix(V, T)
+        np.testing.assert_allclose(I, V[:, None] * T)
+
+    def test_flow_shape_mismatch(self):
+        with pytest.raises(AgreementError):
+            flow_matrix(np.ones(3), np.zeros((4, 4)))
+
+    def test_capacity_includes_own_resources(self):
+        n = 4
+        V = np.array([1.0, 2.0, 3.0, 4.0])
+        U = np.zeros((n, n))
+        np.testing.assert_allclose(capacities(V, U), V)
+
+    def test_paper_overdraft_example(self):
+        """Section 3.2: A=10, shares 60% with B and 60% with C; B shares
+        100% with C.  Without the clamp C could reach 12; with K it is 10."""
+        S = np.array([[0.0, 0.6, 0.6], [0.0, 0.0, 1.0], [0.0, 0.0, 0.0]])
+        V = np.array([10.0, 0.0, 0.0])
+        T = transitive_coefficients(S)
+        assert T[0, 2] == pytest.approx(0.6 + 0.6)  # unclamped: 1.2
+        K = overdraft_clamp(T)
+        assert K[0, 2] == pytest.approx(1.0)
+        U = u_matrix(flow_matrix(V, K), None, V)
+        C = capacities(V, U)
+        assert C[2] == pytest.approx(10.0)
+
+    def test_u_clamps_at_donor_capacity(self):
+        I = np.array([[0.0, 8.0], [0.0, 0.0]])
+        A = np.array([[0.0, 5.0], [0.0, 0.0]])
+        V = np.array([10.0, 0.0])
+        U = u_matrix(I, A, V)
+        assert U[0, 1] == pytest.approx(10.0)  # min(8 + 5, 10)
+
+    def test_u_without_absolute_matrix(self):
+        I = np.array([[0.0, 3.0], [1.0, 0.0]])
+        V = np.array([10.0, 10.0])
+        U = u_matrix(I, None, V)
+        np.testing.assert_allclose(U, I)
+
+    def test_u_zero_diagonal(self):
+        I = np.full((3, 3), 2.0)
+        U = u_matrix(I, None, np.full(3, 10.0))
+        assert not np.any(np.diag(U))
+
+    @given(st.integers(0, 10_000), st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_below_own_never_above_total(self, seed, n):
+        """C_i >= V_i (own resources always available) and the sum of what
+        anyone can reach never exceeds n * total raw capacity."""
+        rng = np.random.default_rng(seed)
+        S = random_S(seed, n, scale=1.0 / n)  # row sums <= 1
+        V = rng.random(n) * 10
+        T = transitive_coefficients(S)
+        U = u_matrix(flow_matrix(V, T), None, V)
+        C = capacities(V, U)
+        assert np.all(C >= V - 1e-9)
+        assert np.all(C <= V.sum() * n + 1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_capacity_with_clamp_bounded_by_total(self, seed):
+        """With the U clamp, each principal's capacity is at most the total
+        raw capacity in the system (each donor contributes at most V_k)."""
+        n = 6
+        rng = np.random.default_rng(seed)
+        S = random_S(seed, n, scale=0.5)
+        V = rng.random(n) * 10
+        K = overdraft_clamp(transitive_coefficients(S))
+        U = u_matrix(flow_matrix(V, K), None, V)
+        C = capacities(V, U)
+        assert np.all(C <= V.sum() + 1e-9)

@@ -1,0 +1,98 @@
+"""Tests for the share-negotiation design tool."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreements.negotiate import suggest_shares
+from repro.errors import AgreementError, InfeasibleAllocationError
+
+
+class TestBasics:
+    def test_no_targets_no_agreements(self):
+        system = suggest_shares(["a", "b"], [5.0, 5.0], [5.0, 5.0])
+        assert not np.any(system.S)
+
+    def test_single_needy_principal(self):
+        system = suggest_shares(["rich", "poor"], [10.0, 0.0], [10.0, 4.0])
+        assert system.S[0, 1] == pytest.approx(0.4)
+        assert system.capacity_of("poor", level=1) == pytest.approx(4.0)
+
+    def test_targets_met_at_level_one(self):
+        V = np.array([10.0, 6.0, 2.0, 0.0])
+        targets = np.array([10.0, 6.0, 5.0, 3.0])
+        system = suggest_shares(list("abcd"), V, targets)
+        C1 = system.capacities(1)
+        assert np.all(C1 >= targets - 1e-6)
+
+    def test_minimality(self):
+        """Committed capacity equals exactly the total shortfall when one
+        donor can cover everything."""
+        system = suggest_shares(["big", "x", "y"], [100.0, 0.0, 0.0],
+                                [100.0, 7.0, 3.0])
+        committed = float((system.S * system.V[:, None]).sum())
+        assert committed == pytest.approx(10.0)
+
+    def test_allowed_mask_respected(self):
+        allowed = np.array([
+            [False, True, False],
+            [False, False, False],
+            [False, False, False],
+        ])
+        system = suggest_shares(
+            ["a", "b", "c"], [10.0, 10.0, 0.0], [10.0, 12.0, 0.0],
+            allowed=allowed,
+        )
+        assert system.S[0, 1] > 0
+        assert system.S[1, 0] == 0.0
+
+    def test_row_sum_cap(self):
+        system = suggest_shares(
+            ["donor", "x", "y"], [10.0, 0.0, 0.0], [10.0, 4.0, 4.0],
+            max_share_out=0.8,
+        )
+        assert system.S.sum(axis=1)[0] <= 0.8 + 1e-9
+
+
+class TestInfeasibility:
+    def test_impossible_totals(self):
+        with pytest.raises(InfeasibleAllocationError):
+            suggest_shares(["a", "b"], [1.0, 1.0], [5.0, 5.0])
+
+    def test_needy_with_no_inbound_edges(self):
+        allowed = np.zeros((2, 2), dtype=bool)
+        with pytest.raises(InfeasibleAllocationError, match="no inbound"):
+            suggest_shares(["a", "b"], [10.0, 0.0], [10.0, 1.0], allowed=allowed)
+
+    def test_shape_validation(self):
+        with pytest.raises(AgreementError):
+            suggest_shares(["a", "b"], [1.0], [1.0, 1.0])
+        with pytest.raises(AgreementError):
+            suggest_shares(["a", "b"], [1.0, 1.0], [1.0, 1.0],
+                           allowed=np.ones((3, 3), dtype=bool))
+
+
+class TestProperty:
+    @given(st.integers(0, 3_000))
+    @settings(max_examples=30, deadline=None)
+    def test_feasible_instances_meet_targets(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 6))
+        V = rng.uniform(0.0, 10.0, size=n)
+        # targets: own capacity plus a slice of what others could donate
+        spare = V.sum()
+        bump = rng.uniform(0.0, 0.3, size=n) * spare / n
+        targets = V + bump
+        # ensure global feasibility: don't ask for more than exists
+        if targets.sum() > V.sum():
+            targets *= 0.95 * V.sum() / targets.sum()
+            targets = np.maximum(targets, 0.0)
+        try:
+            system = suggest_shares([f"p{i}" for i in range(n)], V, targets)
+        except InfeasibleAllocationError:
+            # can legitimately happen when one principal's bump exceeds
+            # every possible inflow under the row-sum cap
+            return
+        assert np.all(system.capacities(1) >= targets - 1e-6)
+        assert np.all(system.S.sum(axis=1) <= 1.0 + 1e-9)

@@ -1,0 +1,166 @@
+"""Tests for generator-based DES processes."""
+
+import pytest
+
+from repro.des import Engine
+from repro.des.process import Process, Waiter, spawn
+from repro.errors import SimulationError
+
+
+class TestBasicProcesses:
+    def test_delays_advance_clock(self):
+        eng = Engine()
+        trace = []
+
+        def proc():
+            trace.append(eng.now)
+            yield 2.0
+            trace.append(eng.now)
+            yield 3.5
+            trace.append(eng.now)
+
+        spawn(eng, proc())
+        eng.run()
+        assert trace == [0.0, 2.0, 5.5]
+
+    def test_spawn_delay(self):
+        eng = Engine()
+        seen = []
+
+        def proc():
+            seen.append(eng.now)
+            yield 1.0
+
+        spawn(eng, proc(), delay=4.0)
+        eng.run()
+        assert seen == [4.0]
+
+    def test_return_value_captured(self):
+        eng = Engine()
+
+        def proc():
+            yield 1.0
+            return 42
+
+        p = spawn(eng, proc())
+        eng.run()
+        assert p.finished
+        assert p.result == 42
+
+    def test_interleaving(self):
+        eng = Engine()
+        order = []
+
+        def proc(name, step):
+            for _ in range(3):
+                yield step
+                order.append((name, eng.now))
+
+        spawn(eng, proc("fast", 1.0))
+        spawn(eng, proc("slow", 2.5))
+        eng.run()
+        assert order == [
+            ("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+            ("fast", 3.0), ("slow", 5.0), ("slow", 7.5),
+        ]
+
+    def test_bad_yield_type(self):
+        eng = Engine()
+
+        def proc():
+            yield "soon"
+
+        spawn(eng, proc())
+        with pytest.raises(SimulationError, match="expected a"):
+            eng.run()
+
+
+class TestWaiters:
+    def test_signal_wakes_waiter(self):
+        eng = Engine()
+        gate = Waiter(eng)
+        log = []
+
+        def consumer():
+            value = yield gate
+            log.append((eng.now, value))
+
+        def producer():
+            yield 5.0
+            gate.fire("ready")
+
+        spawn(eng, consumer())
+        spawn(eng, producer())
+        eng.run()
+        assert log == [(5.0, "ready")]
+
+    def test_fire_is_idempotent(self):
+        eng = Engine()
+        gate = Waiter(eng)
+        log = []
+
+        def consumer():
+            value = yield gate
+            log.append(value)
+
+        spawn(eng, consumer())
+        eng.schedule(1.0, lambda: gate.fire(1))
+        eng.schedule(2.0, lambda: gate.fire(2))
+        eng.run()
+        assert log == [1]
+
+    def test_wait_on_already_fired(self):
+        eng = Engine()
+        gate = Waiter(eng)
+        gate.fire("early")
+        log = []
+
+        def consumer():
+            value = yield gate
+            log.append((eng.now, value))
+
+        spawn(eng, consumer(), delay=3.0)
+        eng.run()
+        assert log == [(3.0, "early")]
+
+    def test_multiple_waiters_all_wake(self):
+        eng = Engine()
+        gate = Waiter(eng)
+        woke = []
+
+        def consumer(tag):
+            yield gate
+            woke.append(tag)
+
+        for tag in "abc":
+            spawn(eng, consumer(tag))
+        eng.schedule(1.0, lambda: gate.fire())
+        eng.run()
+        assert sorted(woke) == ["a", "b", "c"]
+
+
+class TestProcessQueueIntegration:
+    def test_producer_consumer_through_workqueue(self):
+        """A process feeding the WorkQueue used by the proxy simulator."""
+        from repro.des import QueuedItem, WorkQueue
+
+        eng = Engine()
+        queue = WorkQueue()
+        served = []
+
+        def producer():
+            for i in range(3):
+                queue.push(QueuedItem(arrival=eng.now, service=1.0))
+                yield 0.5
+
+        def server_poll():
+            while True:
+                queue.advance(eng.now, lambda item, start: served.append(start))
+                if queue.served == 3:
+                    return
+                yield 0.25
+
+        spawn(eng, producer())
+        spawn(eng, server_poll())
+        eng.run(until=100.0)
+        assert served == [0.0, 1.0, 2.0]

@@ -1,0 +1,238 @@
+"""Tests for the ticket/currency bank: registry, valuation, revocation."""
+
+import numpy as np
+import pytest
+
+from repro.economy import Bank, TicketKind
+from repro.errors import (
+    CurrencyCycleError,
+    DuplicateNameError,
+    EconomyError,
+    TicketRevokedError,
+    UnknownCurrencyError,
+    UnknownTicketError,
+)
+
+
+@pytest.fixture
+def bank():
+    b = Bank()
+    b.create_currency("A", face_value=1000)
+    b.create_currency("B", face_value=100)
+    return b
+
+
+class TestRegistry:
+    def test_create_and_lookup(self, bank):
+        assert bank.currency("A").face_value == 1000
+        assert bank.principals() == ["A", "B"]
+
+    def test_duplicate_currency_rejected(self, bank):
+        with pytest.raises(DuplicateNameError):
+            bank.create_currency("A")
+
+    def test_unknown_currency(self, bank):
+        with pytest.raises(UnknownCurrencyError):
+            bank.currency("Z")
+
+    def test_unknown_ticket(self, bank):
+        with pytest.raises(UnknownTicketError):
+            bank.ticket(999)
+
+    def test_virtual_requires_owner(self, bank):
+        with pytest.raises(EconomyError, match="owner"):
+            bank.create_currency("V1", virtual=True)
+
+    def test_virtual_excluded_from_principals(self, bank):
+        bank.create_currency("A1", owner="A", virtual=True)
+        assert bank.principals() == ["A", "B"]
+
+    def test_nonpositive_face_value_rejected(self):
+        b = Bank()
+        with pytest.raises(EconomyError):
+            b.create_currency("X", face_value=0)
+
+
+class TestTicketIssue:
+    def test_deposit_is_base_capacity(self, bank):
+        t = bank.deposit_capacity("A", 10, "disk")
+        assert t.is_base_capacity
+        assert not t.is_agreement
+        assert t.kind is TicketKind.ABSOLUTE
+
+    def test_self_backing_rejected(self, bank):
+        with pytest.raises(EconomyError, match="cannot back itself"):
+            bank.issue_relative_ticket("A", "A", 10)
+        with pytest.raises(EconomyError, match="cannot back itself"):
+            bank.issue_absolute_ticket("A", "A", 10)
+
+    def test_negative_face_rejected(self, bank):
+        with pytest.raises(EconomyError, match="negative face"):
+            bank.issue_relative_ticket("A", "B", -5)
+
+    def test_absolute_needs_concrete_resource(self, bank):
+        from repro.economy.ticket import Ticket
+
+        with pytest.raises(EconomyError, match="concrete resource"):
+            Ticket(kind=TicketKind.ABSOLUTE, face_value=1.0, backing="B")
+
+    def test_relative_needs_issuer(self):
+        from repro.economy.ticket import Ticket
+
+        with pytest.raises(EconomyError, match="issued by a currency"):
+            Ticket(kind=TicketKind.RELATIVE, face_value=1.0, backing="B")
+
+
+class TestValuation:
+    def test_empty_currency_is_worthless(self, bank):
+        assert bank.currency_value("A").is_zero()
+
+    def test_deposit_sets_value(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        assert bank.currency_value("A")["disk"] == pytest.approx(10.0)
+
+    def test_multiple_resource_types(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        bank.deposit_capacity("A", 4, "cpu")
+        v = bank.currency_value("A")
+        assert v["disk"] == pytest.approx(10.0)
+        assert v["cpu"] == pytest.approx(4.0)
+        assert bank.resource_types() == ["cpu", "disk"]
+
+    def test_relative_ticket_transfers_fraction(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        bank.issue_relative_ticket("A", "B", 500)  # 50% of A
+        assert bank.currency_value("B")["disk"] == pytest.approx(5.0)
+
+    def test_relative_transfers_all_types(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        bank.deposit_capacity("A", 4, "cpu")
+        bank.issue_relative_ticket("A", "B", 250)  # 25%
+        v = bank.currency_value("B")
+        assert v["disk"] == pytest.approx(2.5)
+        assert v["cpu"] == pytest.approx(1.0)
+
+    def test_issuing_does_not_reduce_issuer_value(self, bank):
+        # Sharing semantics: both grantor and grantee can use the resource.
+        bank.deposit_capacity("A", 10, "disk")
+        bank.issue_relative_ticket("A", "B", 500)
+        assert bank.currency_value("A")["disk"] == pytest.approx(10.0)
+
+    def test_chained_relative_tickets(self, bank):
+        bank.create_currency("C")
+        bank.deposit_capacity("A", 10, "disk")
+        bank.issue_relative_ticket("A", "B", 500)  # B gets 5
+        bank.issue_relative_ticket("B", "C", 50)  # C gets 50% of B
+        assert bank.currency_value("C")["disk"] == pytest.approx(2.5)
+
+    def test_absolute_agreement_adds_face(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        bank.issue_absolute_ticket("A", "B", 3, "disk")
+        assert bank.currency_value("B")["disk"] == pytest.approx(3.0)
+
+    def test_ticket_real_value_absolute(self, bank):
+        t = bank.issue_absolute_ticket("A", "B", 3, "disk")
+        assert bank.ticket_real_value(t.ticket_id)["disk"] == pytest.approx(3.0)
+
+    def test_ticket_real_value_relative(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        t = bank.issue_relative_ticket("A", "B", 500)
+        assert bank.ticket_real_value(t.ticket_id)["disk"] == pytest.approx(5.0)
+
+    def test_contractive_cycle_is_fine(self, bank):
+        # A and B each share 40% with the other: fixed point exists.
+        bank.deposit_capacity("A", 10, "disk")
+        bank.deposit_capacity("B", 10, "disk")
+        bank.issue_relative_ticket("A", "B", 400)  # 40% of A
+        bank.issue_relative_ticket("B", "A", 40)  # 40% of B
+        vA = bank.currency_value("A")["disk"]
+        vB = bank.currency_value("B")["disk"]
+        # v_A = 10 + 0.4 v_B, v_B = 10 + 0.4 v_A -> v = 10/0.6 * ... = 16.666
+        assert vA == pytest.approx(10 / 0.6)
+        assert vB == pytest.approx(10 / 0.6)
+
+    def test_non_contractive_cycle_raises(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        bank.issue_relative_ticket("A", "B", 1000)  # 100%
+        bank.issue_relative_ticket("B", "A", 100)  # 100%
+        with pytest.raises(CurrencyCycleError):
+            bank.currency_values()
+
+
+class TestInflation:
+    def test_inflation_devalues_relative_tickets(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        t = bank.issue_relative_ticket("A", "B", 500)
+        bank.inflate_currency("A", 2.0)  # face 1000 -> 2000
+        assert bank.ticket_real_value(t.ticket_id)["disk"] == pytest.approx(2.5)
+
+    def test_deflation_boosts_relative_tickets(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        t = bank.issue_relative_ticket("A", "B", 500)
+        bank.inflate_currency("A", 0.5)
+        assert bank.ticket_real_value(t.ticket_id)["disk"] == pytest.approx(10.0)
+
+    def test_bad_inflation_factor(self, bank):
+        with pytest.raises(EconomyError):
+            bank.inflate_currency("A", 0.0)
+
+
+class TestRevocation:
+    def test_revoked_ticket_worthless(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        t = bank.issue_relative_ticket("A", "B", 500)
+        bank.revoke_ticket(t.ticket_id)
+        assert bank.currency_value("B").is_zero()
+        assert bank.ticket_real_value(t.ticket_id).is_zero()
+
+    def test_double_revoke_rejected(self, bank):
+        t = bank.deposit_capacity("A", 10, "disk")
+        bank.revoke_ticket(t.ticket_id)
+        with pytest.raises(TicketRevokedError):
+            bank.revoke_ticket(t.ticket_id)
+
+    def test_revoking_capacity_reduces_value(self, bank):
+        t1 = bank.deposit_capacity("A", 10, "disk")
+        bank.deposit_capacity("A", 5, "disk")
+        bank.revoke_ticket(t1.ticket_id)
+        assert bank.currency_value("A")["disk"] == pytest.approx(5.0)
+
+
+class TestOverissue:
+    def test_overissued_detection(self, bank):
+        bank.issue_relative_ticket("A", "B", 700)
+        assert bank.overissued_currencies() == []
+        bank.create_currency("C")
+        bank.issue_relative_ticket("A", "C", 600)  # 1300 > face 1000
+        assert bank.overissued_currencies() == ["A"]
+
+
+class TestAgreementExport:
+    def test_simple_export(self, bank):
+        bank.deposit_capacity("A", 10, "general")
+        bank.issue_relative_ticket("A", "B", 300)
+        principals, V, S, A = bank.to_agreement_system("general")
+        assert principals == ["A", "B"]
+        assert V.tolist() == [10.0, 0.0]
+        assert S[0, 1] == pytest.approx(0.3)
+        assert not np.any(A)
+
+    def test_export_filters_resource_type(self, bank):
+        bank.deposit_capacity("A", 10, "disk")
+        bank.deposit_capacity("A", 4, "cpu")
+        _, V, _, _ = bank.to_agreement_system("cpu")
+        assert V.tolist() == [4.0, 0.0]
+
+    def test_absolute_agreements_in_A(self, bank):
+        bank.deposit_capacity("A", 10, "general")
+        bank.issue_absolute_ticket("A", "B", 3, "general")
+        _, _, S, A = bank.to_agreement_system("general")
+        assert A[0, 1] == pytest.approx(3.0)
+        assert not np.any(S)
+
+    def test_revoked_agreements_excluded(self, bank):
+        bank.deposit_capacity("A", 10, "general")
+        t = bank.issue_relative_ticket("A", "B", 300)
+        bank.revoke_ticket(t.ticket_id)
+        _, _, S, _ = bank.to_agreement_system("general")
+        assert not np.any(S)

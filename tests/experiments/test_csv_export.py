@@ -1,0 +1,43 @@
+"""Tests for ExperimentResult CSV export."""
+
+import csv
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+
+
+def test_rows_csv(tmp_path):
+    res = ExperimentResult(
+        "figX", "demo", rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+    )
+    paths = res.to_csv(tmp_path)
+    assert len(paths) == 1
+    with paths[0].open() as fh:
+        rows = list(csv.DictReader(fh))
+    assert rows[0]["a"] == "1"
+    assert rows[1]["b"] == "4.5"
+
+
+def test_series_csv_alignment(tmp_path):
+    res = ExperimentResult(
+        "figY",
+        "demo",
+        rows=[{"k": 1}],
+        series={
+            "slot_hours": np.array([0.0, 1.0, 2.0]),
+            "short": np.array([9.0]),
+        },
+    )
+    paths = res.to_csv(tmp_path)
+    series_path = [p for p in paths if "series" in p.name][0]
+    with series_path.open() as fh:
+        reader = list(csv.reader(fh))
+    assert reader[0] == ["slot_hours", "short"]
+    assert len(reader) == 4  # header + 3 slots
+    assert reader[2][1] == ""  # shorter series padded with blanks
+
+
+def test_empty_result_writes_nothing(tmp_path):
+    res = ExperimentResult("figZ", "demo")
+    assert res.to_csv(tmp_path) == []

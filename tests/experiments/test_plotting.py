@@ -1,0 +1,72 @@
+"""Tests for terminal plotting."""
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.plotting import ascii_chart, render_series, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(line) == 3
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline(np.arange(9.0), width=9)
+        assert list(line) == sorted(line)
+
+    def test_downsampling(self):
+        assert len(sparkline(np.arange(1000.0), width=50)) == 50
+
+    def test_extremes_map_to_extremes(self):
+        line = sparkline([0.0, 100.0])
+        assert line[0] == " " or line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestAsciiChart:
+    def test_structure(self):
+        chart = ascii_chart([1.0, 2.0, 3.0], height=4, label="x")
+        lines = chart.splitlines()
+        assert lines[0].startswith("x")
+        assert len(lines) == 1 + 4 + 1  # header + rows + axis
+        assert lines[-1].startswith("+")
+
+    def test_peak_column_full(self):
+        chart = ascii_chart([0.0, 10.0, 0.0], height=3, label="")
+        rows = chart.splitlines()[1:-1]
+        # middle column filled top to bottom
+        assert all(r[2] == "█" for r in rows)
+
+    def test_log_scale_header(self):
+        chart = ascii_chart([1.0, 1000.0], log=True)
+        assert "log scale" in chart.splitlines()[0]
+
+    def test_empty(self):
+        assert "empty" in ascii_chart([])
+
+
+class TestRenderSeries:
+    def test_skips_axis_series(self):
+        res = ExperimentResult(
+            "x", "d",
+            series={"slot_hours": np.arange(3.0), "wait:lp": np.ones(3)},
+        )
+        out = render_series(res)
+        assert "wait:lp" in out
+        assert "slot_hours" not in out
+
+    def test_key_filter(self):
+        res = ExperimentResult(
+            "x", "d",
+            series={"a": np.ones(3), "b": np.ones(3)},
+        )
+        out = render_series(res, keys=["a"])
+        assert "a" in out and "b" not in out
+
+    def test_no_series(self):
+        assert "no series" in render_series(ExperimentResult("x", "d"))

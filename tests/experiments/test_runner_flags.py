@@ -1,0 +1,20 @@
+"""Tests for the runner CLI's --plot and --csv flags."""
+
+from pathlib import Path
+
+from repro.experiments.runner import main
+
+
+def test_plot_flag(capsys):
+    assert main(["fig05", "--scale", "250", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "mean_wait" in out
+    assert "█" in out or "▁" in out  # a chart was rendered
+
+
+def test_csv_flag(tmp_path, capsys):
+    assert main(["fig05", "--scale", "250", "--csv", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    files = list(Path(tmp_path).glob("fig05_*.csv"))
+    assert len(files) == 2  # rows + series

@@ -1,0 +1,196 @@
+"""Tests for the LP model builder (expressions, constraints, normalisation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import LPError
+from repro.lp import LinearProgram
+from repro.lp.expr import LinExpr, Relation
+
+
+class TestVariables:
+    def test_variable_creation(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        assert x.name == "x"
+        assert x.index == 0
+        assert lp.num_variables == 1
+
+    def test_default_bounds_nonnegative(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        assert x.lower == 0.0
+        assert math.isinf(x.upper)
+
+    def test_custom_bounds(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lower=-3.0, upper=7.0)
+        assert (x.lower, x.upper) == (-3.0, 7.0)
+
+    def test_duplicate_name_rejected(self):
+        lp = LinearProgram()
+        lp.variable("x")
+        with pytest.raises(LPError, match="duplicate"):
+            lp.variable("x")
+
+    def test_empty_bound_interval_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError, match="empty bound"):
+            lp.variable("x", lower=2.0, upper=1.0)
+
+    def test_variables_batch(self):
+        lp = LinearProgram()
+        vs = lp.variables("d", 5)
+        assert [v.name for v in vs] == ["d0", "d1", "d2", "d3", "d4"]
+
+    def test_get_variable(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        assert lp.get_variable("x") is x
+        with pytest.raises(LPError):
+            lp.get_variable("nope")
+
+
+class TestExpressions:
+    def test_addition_and_scaling(self):
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        expr = (2 * x + y * 3 + 1.5)._as_expr()
+        assert expr.coeffs == {0: 2.0, 1: 3.0}
+        assert expr.const == 1.5
+
+    def test_subtraction(self):
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        expr = (x - y)._as_expr()
+        assert expr.coeffs == {0: 1.0, 1: -1.0}
+
+    def test_rsub(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        expr = (5 - x)._as_expr()
+        assert expr.coeffs == {0: -1.0}
+        assert expr.const == 5.0
+
+    def test_negation_and_division(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        assert (-x)._as_expr().coeffs == {0: -1.0}
+        assert (x / 4)._as_expr().coeffs == {0: 0.25}
+
+    def test_comparison_builds_relation(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        rel = x <= 5
+        assert isinstance(rel, Relation)
+        assert rel.sense == "<="
+
+    def test_terms_combine(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        expr = (x + x + x)._as_expr()
+        assert expr.coeffs == {0: 3.0}
+
+
+class TestConstraints:
+    def test_ge_normalised_to_le(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        con = lp.add_constraint(x >= 3, name="c")
+        assert con.sense == "<="
+        assert con.coeffs == {0: -1.0}
+        assert con.bound == -3.0
+
+    def test_equality_kept(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        con = lp.add_constraint(x == 3)
+        assert con.sense == "=="
+
+    def test_constant_terms_move_to_bound(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        con = lp.add_constraint(x + 2 <= 5)
+        assert con.bound == 3.0
+
+    def test_trivially_infeasible_constant_rejected(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        with pytest.raises(LPError, match="trivially infeasible"):
+            lp.add_constraint(x - x >= 1)
+
+    def test_trivially_true_constant_accepted(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        lp.add_constraint(x - x <= 1)  # 0 <= 1, fine
+        assert lp.num_constraints == 1
+
+    def test_non_relation_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError, match="comparison"):
+            lp.add_constraint(True)  # type: ignore[arg-type]
+
+
+class TestToArrays:
+    def test_array_shapes(self):
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        lp.add_constraint(x + y <= 4)
+        lp.add_constraint(x == 1)
+        lp.minimize(x + 2 * y)
+        c, A_ub, b_ub, A_eq, b_eq, bounds, const = lp.to_arrays()
+        assert c.tolist() == [1.0, 2.0]
+        assert A_ub.shape == (1, 2)
+        assert A_eq.shape == (1, 2)
+        assert bounds == [(0.0, math.inf)] * 2
+        assert const == 0.0
+
+    def test_max_negates_costs(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=2)
+        lp.maximize(3 * x + 1)
+        c, *_rest, const = lp.to_arrays()
+        assert c.tolist() == [-3.0]
+        assert const == -1.0
+
+    def test_objective_constant_reported(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=5)
+        lp.minimize(x + 10)
+        res = lp.solve()
+        assert res.ok
+        assert res.objective == pytest.approx(10.0)
+
+    def test_max_objective_sense(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=5)
+        lp.maximize(2 * x + 1)
+        for backend in ("scipy", "simplex"):
+            res = lp.solve(backend=backend)
+            assert res.objective == pytest.approx(11.0)
+
+    def test_unknown_backend(self):
+        lp = LinearProgram()
+        lp.variable("x")
+        with pytest.raises(LPError, match="unknown LP backend"):
+            lp.solve(backend="cplex")
+
+
+class TestResultAccess:
+    def test_named_access(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=3)
+        lp.maximize(x)
+        res = lp.solve()
+        assert res["x"] == pytest.approx(3.0)
+        assert res.as_dict() == {"x": pytest.approx(3.0)}
+
+    def test_missing_name_raises(self):
+        lp = LinearProgram()
+        lp.variable("x", upper=3)
+        lp.minimize(LinExpr())
+        res = lp.solve()
+        with pytest.raises(KeyError):
+            res["zzz"]

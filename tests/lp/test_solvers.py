@@ -1,0 +1,159 @@
+"""Backend tests: scipy/HiGHS vs the from-scratch simplex.
+
+The two backends must agree on status and optimum for every model; the
+property test generates random feasible LPs and cross-checks them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import LinearProgram, LPStatus
+
+BACKENDS = ("scipy", "simplex")
+
+
+def _both(lp):
+    return {b: lp.solve(backend=b) for b in BACKENDS}
+
+
+class TestKnownOptima:
+    def test_textbook_max(self):
+        # max 3x + 4y st x+2y<=14, 3x-y>=0, x-y<=2  -> 34 at (6, 4)
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        lp.add_constraint(x + 2 * y <= 14)
+        lp.add_constraint(3 * x - y >= 0)
+        lp.add_constraint(x - y <= 2)
+        lp.maximize(3 * x + 4 * y)
+        for backend, res in _both(lp).items():
+            assert res.ok, backend
+            assert res.objective == pytest.approx(34.0)
+            assert res["x"] == pytest.approx(6.0)
+            assert res["y"] == pytest.approx(4.0)
+
+    def test_degenerate_feasibility_only(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=1)
+        lp.add_constraint(x >= 0.5)
+        for backend, res in _both(lp).items():
+            assert res.ok, backend
+            assert 0.5 - 1e-9 <= res["x"] <= 1 + 1e-9
+
+    def test_negative_lower_bounds(self):
+        lp = LinearProgram()
+        a = lp.variable("a", lower=-5, upper=5)
+        b = lp.variable("b", upper=10)
+        lp.add_constraint(a + b == 3)
+        lp.minimize(2 * a + b)
+        for backend, res in _both(lp).items():
+            assert res.objective == pytest.approx(-2.0), backend
+            assert res["a"] == pytest.approx(-5.0)
+
+    def test_free_variable(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lower=-np.inf)
+        lp.add_constraint(x >= -7)
+        lp.minimize(x)
+        for backend, res in _both(lp).items():
+            assert res.objective == pytest.approx(-7.0), backend
+
+    def test_upper_bounded_only_variable(self):
+        lp = LinearProgram()
+        x = lp.variable("x", lower=-np.inf, upper=4)
+        lp.maximize(x)
+        for backend, res in _both(lp).items():
+            assert res.objective == pytest.approx(4.0), backend
+
+    def test_equality_system(self):
+        # x + y = 10, x - y = 4 -> (7, 3)
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        lp.add_constraint(x + y == 10)
+        lp.add_constraint(x - y == 4)
+        lp.minimize(x)
+        for backend, res in _both(lp).items():
+            assert res["x"] == pytest.approx(7.0), backend
+            assert res["y"] == pytest.approx(3.0), backend
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        lp = LinearProgram()
+        x = lp.variable("x", upper=1)
+        lp.add_constraint(x >= 2)
+        lp.minimize(x)
+        for backend, res in _both(lp).items():
+            assert res.status is LPStatus.INFEASIBLE, backend
+            assert not res.ok
+
+    def test_unbounded(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        lp.minimize(-x)
+        for backend, res in _both(lp).items():
+            assert res.status is LPStatus.UNBOUNDED, backend
+
+    def test_infeasible_equalities(self):
+        lp = LinearProgram()
+        x = lp.variable("x")
+        lp.add_constraint(x == 1)
+        lp.add_constraint(x == 2)
+        lp.minimize(x)
+        for backend, res in _both(lp).items():
+            assert res.status is LPStatus.INFEASIBLE, backend
+
+    def test_redundant_equalities_ok(self):
+        lp = LinearProgram()
+        x, y = lp.variable("x"), lp.variable("y")
+        lp.add_constraint(x + y == 4)
+        lp.add_constraint(2 * x + 2 * y == 8)  # redundant
+        lp.minimize(x)
+        for backend, res in _both(lp).items():
+            assert res.ok, backend
+            assert res["x"] == pytest.approx(0.0)
+
+
+@st.composite
+def random_feasible_lp(draw):
+    """Random LP with a known feasible point (so never infeasible) and
+    box-bounded variables (so never unbounded)."""
+    n = draw(st.integers(2, 6))
+    m = draw(st.integers(1, 6))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    x0 = rng.uniform(0, 5, size=n)  # feasible point
+    A = rng.uniform(-2, 2, size=(m, n))
+    slack = rng.uniform(0.1, 3.0, size=m)
+    b = A @ x0 + slack
+    c = rng.uniform(-3, 3, size=n)
+    ub = x0 + rng.uniform(0.5, 5.0, size=n)
+    return n, m, A, b, c, ub
+
+
+class TestCrossValidation:
+    @given(random_feasible_lp())
+    @settings(max_examples=40, deadline=None)
+    def test_backends_agree_on_optimum(self, problem):
+        n, m, A, b, c, ub = problem
+        lp = LinearProgram()
+        xs = [lp.variable(f"x{i}", lower=0.0, upper=float(ub[i])) for i in range(n)]
+        for r in range(m):
+            expr = xs[0] * float(A[r, 0])
+            for i in range(1, n):
+                expr = expr + xs[i] * float(A[r, i])
+            lp.add_constraint(expr <= float(b[r]))
+        obj = xs[0] * float(c[0])
+        for i in range(1, n):
+            obj = obj + xs[i] * float(c[i])
+        lp.minimize(obj)
+        res_scipy = lp.solve(backend="scipy")
+        res_simplex = lp.solve(backend="simplex")
+        assert res_scipy.ok and res_simplex.ok
+        assert res_scipy.objective == pytest.approx(res_simplex.objective, abs=1e-6)
+        # Both solutions must be feasible.
+        for res in (res_scipy, res_simplex):
+            x = res.x
+            assert np.all(x >= -1e-8)
+            assert np.all(x <= ub + 1e-8)
+            assert np.all(A @ x <= b + 1e-6)

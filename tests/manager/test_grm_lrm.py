@@ -1,0 +1,212 @@
+"""Tests for the GRM/LRM architecture and its message protocol."""
+
+import pytest
+
+from repro.economy import Bank
+from repro.errors import ManagerError, UnknownPrincipalError
+from repro.manager import (
+    AllocationGrant,
+    AllocationRequestMsg,
+    AvailabilityReport,
+    GlobalResourceManager,
+    InProcessTransport,
+    LocalResourceManager,
+    ReleaseMsg,
+)
+from repro.manager.messages import AllocationDenied
+from repro.units import ResourceVector
+
+
+def build_cluster(n=4, capacity=10.0, share=0.2):
+    """A GRM + n LRMs on one transport, complete sharing structure."""
+    transport = InProcessTransport()
+    bank = Bank()
+    grm = GlobalResourceManager("grm", bank)
+    grm.attach(transport)
+    lrms = []
+    for i in range(n):
+        p = f"isp{i}"
+        grm.register_principal(p, ResourceVector(general=capacity))
+        lrm = LocalResourceManager(p, ResourceVector(general=capacity))
+        lrm.attach(transport)
+        lrms.append(lrm)
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                bank.issue_relative_ticket(f"isp{i}", f"isp{j}", share * 100)
+    for lrm in lrms:
+        lrm.report()
+    return transport, grm, lrms
+
+
+class TestTransport:
+    def test_duplicate_endpoint(self):
+        t = InProcessTransport()
+        t.register("a")
+        with pytest.raises(ManagerError):
+            t.register("a")
+
+    def test_unknown_endpoint(self):
+        t = InProcessTransport()
+        with pytest.raises(ManagerError):
+            t.send("ghost", AvailabilityReport(sender="x"))
+
+    def test_mailbox_fifo(self):
+        t = InProcessTransport()
+        t.register("box")
+        m1 = AvailabilityReport(sender="a", available=1.0)
+        m2 = AvailabilityReport(sender="b", available=2.0)
+        t.send("box", m1)
+        t.send("box", m2)
+        assert t.pending("box") == 2
+        assert t.receive("box") is m1
+        assert t.receive("box") is m2
+        assert t.receive("box") is None
+
+
+class TestAvailabilityReports:
+    def test_reports_tracked(self):
+        _, grm, _ = build_cluster()
+        assert grm.availability("isp0") == pytest.approx(10.0)
+
+    def test_reservation_lowers_report(self):
+        transport, grm, lrms = build_cluster()
+        lrms[0].reserve(99, ResourceVector(general=4.0))
+        lrms[0].report()
+        assert grm.availability("isp0") == pytest.approx(6.0)
+
+    def test_lrm_report_requires_attach(self):
+        lrm = LocalResourceManager("x", ResourceVector(general=1.0))
+        with pytest.raises(ManagerError, match="not attached"):
+            lrm.report()
+
+
+class TestAllocation:
+    def test_local_grant(self):
+        transport, grm, _ = build_cluster()
+        reply = transport.send(
+            "grm",
+            AllocationRequestMsg(sender="isp0", principal="isp0", amount=5.0),
+        )
+        assert isinstance(reply, AllocationGrant)
+        assert reply.total == pytest.approx(5.0)
+        assert reply.take_for("isp0") == pytest.approx(5.0)
+
+    def test_remote_grant_uses_agreements(self):
+        transport, grm, _ = build_cluster()
+        reply = transport.send(
+            "grm",
+            AllocationRequestMsg(sender="isp0", principal="isp0", amount=14.0),
+        )
+        assert isinstance(reply, AllocationGrant)
+        assert reply.total == pytest.approx(14.0)
+        assert reply.take_for("isp0") == pytest.approx(10.0)
+        remote = reply.total - reply.take_for("isp0")
+        assert remote == pytest.approx(4.0)
+
+    def test_denial_when_insufficient(self):
+        transport, grm, _ = build_cluster(n=2, capacity=1.0, share=0.1)
+        reply = transport.send(
+            "grm",
+            AllocationRequestMsg(sender="isp0", principal="isp0", amount=50.0),
+        )
+        assert isinstance(reply, AllocationDenied)
+        assert grm.requests_denied == 1
+
+    def test_grant_updates_cached_availability(self):
+        transport, grm, _ = build_cluster()
+        transport.send(
+            "grm",
+            AllocationRequestMsg(sender="isp0", principal="isp0", amount=5.0),
+        )
+        assert grm.availability("isp0") == pytest.approx(5.0)
+
+    def test_release_restores_availability(self):
+        transport, grm, _ = build_cluster()
+        grant = transport.send(
+            "grm",
+            AllocationRequestMsg(sender="isp0", principal="isp0", amount=5.0),
+        )
+        transport.send("grm", ReleaseMsg(sender="isp0", grant_id=grant.msg_id))
+        assert grm.availability("isp0") == pytest.approx(10.0)
+        assert grm.open_grants() == 0
+
+    def test_release_unknown_grant(self):
+        transport, grm, _ = build_cluster()
+        with pytest.raises(ManagerError, match="no open grant"):
+            transport.send("grm", ReleaseMsg(sender="isp0", grant_id=12345))
+
+    def test_unknown_principal(self):
+        transport, grm, _ = build_cluster()
+        with pytest.raises(UnknownPrincipalError):
+            transport.send(
+                "grm",
+                AllocationRequestMsg(sender="zzz", principal="zzz", amount=1.0),
+            )
+
+    def test_level_limits_grant(self):
+        """Chain a->b->c in the bank: at level 1, c cannot reach a."""
+        transport = InProcessTransport()
+        bank = Bank()
+        grm = GlobalResourceManager("grm", bank)
+        grm.attach(transport)
+        grm.register_principal("a", ResourceVector(general=8.0))
+        grm.register_principal("b", ResourceVector(general=0.0))
+        grm.register_principal("c", ResourceVector(general=0.0))
+        bank.issue_relative_ticket("a", "b", 50)
+        bank.issue_relative_ticket("b", "c", 50)
+        grm._availability.update({("a", "general"): 8.0, ("b", "general"): 0.0,
+                                  ("c", "general"): 0.0})
+        denied = transport.send(
+            "grm",
+            AllocationRequestMsg(sender="c", principal="c", amount=1.0, level=1),
+        )
+        assert isinstance(denied, AllocationDenied)
+        granted = transport.send(
+            "grm",
+            AllocationRequestMsg(sender="c", principal="c", amount=1.0, level=2),
+        )
+        assert isinstance(granted, AllocationGrant)
+        assert granted.take_for("a") == pytest.approx(1.0)
+
+
+class TestMultiLevelGRM:
+    def test_delegated_requests_forwarded(self):
+        transport, grm, _ = build_cluster(n=4)
+        # Child GRM manages isp2/isp3 over the same bank.
+        child = GlobalResourceManager("grm-child", grm.bank)
+        child.attach(transport)
+        child._availability = dict(grm._availability)
+        grm.delegate("grm-child", ["isp2", "isp3"])
+        reply = transport.send(
+            "grm",
+            AllocationRequestMsg(sender="isp2", principal="isp2", amount=3.0),
+        )
+        assert isinstance(reply, AllocationGrant)
+        assert child.requests_served == 1
+        assert grm.requests_served == 0
+
+
+class TestLRMReservations:
+    def test_over_reservation_rejected(self):
+        lrm = LocalResourceManager("x", ResourceVector(general=5.0))
+        with pytest.raises(ManagerError, match="only"):
+            lrm.reserve(1, ResourceVector(general=6.0))
+
+    def test_release_returns_amount(self):
+        lrm = LocalResourceManager("x", ResourceVector(general=5.0))
+        lrm.reserve(1, ResourceVector(general=2.0))
+        returned = lrm.release(1)
+        assert returned["general"] == pytest.approx(2.0)
+        assert lrm.available() == pytest.approx(5.0)
+
+    def test_release_unknown(self):
+        lrm = LocalResourceManager("x", ResourceVector(general=5.0))
+        with pytest.raises(ManagerError):
+            lrm.release(7)
+
+    def test_incremental_reservation(self):
+        lrm = LocalResourceManager("x", ResourceVector(general=5.0))
+        lrm.reserve(1, ResourceVector(general=2.0))
+        lrm.reserve(1, ResourceVector(general=1.0))
+        assert lrm.available() == pytest.approx(2.0)

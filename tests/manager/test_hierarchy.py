@@ -1,0 +1,84 @@
+"""Tests for multi-level GRM construction."""
+
+import pytest
+
+from repro.economy import Bank
+from repro.errors import ManagerError
+from repro.manager import AllocationGrant, AllocationRequestMsg
+from repro.manager.hierarchy import build_hierarchical_grm
+from repro.units import ResourceVector
+
+
+@pytest.fixture
+def bank():
+    b = Bank()
+    for i in range(6):
+        b.create_currency(f"n{i}")
+        b.deposit_capacity(f"n{i}", 10.0, "general")
+    # ring of 30% agreements
+    for i in range(6):
+        b.issue_relative_ticket(f"n{i}", f"n{(i + 1) % 6}", 30)
+    return b
+
+
+@pytest.fixture
+def hier(bank):
+    h = build_hierarchical_grm(
+        bank, {"east": ["n0", "n1", "n2"], "west": ["n3", "n4"]}
+    )
+    h.broadcast_availability({f"n{i}": 10.0 for i in range(6)})
+    return h
+
+
+class TestConstruction:
+    def test_children_created(self, hier):
+        assert set(hier.children) == {"east", "west"}
+        assert hier.transport.endpoints() == ["grm-root", "grm-east", "grm-west"]
+
+    def test_grm_for_routing(self, hier):
+        assert hier.grm_for("n1") is hier.children["east"]
+        assert hier.grm_for("n4") is hier.children["west"]
+        assert hier.grm_for("n5") is hier.root  # unassigned stays at root
+
+    def test_unknown_principal_rejected(self, bank):
+        with pytest.raises(ManagerError, match="unknown principals"):
+            build_hierarchical_grm(bank, {"g": ["ghost"]})
+
+    def test_overlapping_groups_rejected(self, bank):
+        with pytest.raises(ManagerError, match="more than one group"):
+            build_hierarchical_grm(bank, {"a": ["n0"], "b": ["n0"]})
+
+
+class TestDelegatedScheduling:
+    def test_request_served_by_child(self, hier):
+        reply = hier.transport.send(
+            "grm-root",
+            AllocationRequestMsg(sender="n1", principal="n1", amount=5.0),
+        )
+        assert isinstance(reply, AllocationGrant)
+        assert hier.requests_served() == {
+            "grm-root": 0, "grm-east": 1, "grm-west": 0,
+        }
+
+    def test_unassigned_served_by_root(self, hier):
+        reply = hier.transport.send(
+            "grm-root",
+            AllocationRequestMsg(sender="n5", principal="n5", amount=5.0),
+        )
+        assert isinstance(reply, AllocationGrant)
+        assert hier.root.requests_served == 1
+
+    def test_cross_group_agreements_still_work(self, hier):
+        """n3 (west) borrows from n2 (east) through the ring agreement."""
+        reply = hier.transport.send(
+            "grm-root",
+            AllocationRequestMsg(sender="n3", principal="n3", amount=12.0),
+        )
+        assert isinstance(reply, AllocationGrant)
+        assert reply.take_for("n2") > 0
+
+    def test_availability_broadcast(self, hier):
+        hier.broadcast_availability({"n0": 3.0})
+        assert hier.root.availability("n0") == 3.0
+        assert hier.children["east"].availability("n0") == 3.0
+        assert hier.children["west"].availability("n0") == 3.0

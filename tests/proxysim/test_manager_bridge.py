@@ -1,0 +1,78 @@
+"""Tests for running the simulation through the GRM/LRM protocol."""
+
+import numpy as np
+import pytest
+
+from repro.agreements import complete_structure
+from repro.proxysim import ProxySimulation, SimulationConfig
+from repro.proxysim.manager_bridge import ManagerPolicy, bank_for_structure
+from repro.proxysim.redirect import LPPolicy
+from repro.workload import Request
+
+
+@pytest.fixture
+def system():
+    return complete_structure(3, share=0.2)
+
+
+class TestBankForStructure:
+    def test_tickets_match_shares(self, system):
+        bank = bank_for_structure(system)
+        principals, _, S, _ = bank.to_agreement_system("general")
+        assert principals == system.principals
+        np.testing.assert_allclose(S, system.S, atol=1e-12)
+
+    def test_no_base_deposits(self, system):
+        bank = bank_for_structure(system)
+        assert all(not t.is_base_capacity for t in bank.tickets)
+
+
+class TestManagerPolicyPlans:
+    def test_matches_lp_policy(self, system):
+        avail = np.array([0.0, 50.0, 80.0])
+        mp = ManagerPolicy(system)
+        lp = LPPolicy(system)
+        take_m = mp.plan(0, 10.0, avail.copy())
+        take_l = lp.plan(0, 10.0, avail.copy())
+        np.testing.assert_allclose(take_m, take_l, atol=1e-7)
+
+    def test_denial_falls_back_to_partial(self, system):
+        avail = np.array([0.0, 5.0, 5.0])
+        mp = ManagerPolicy(system)
+        take = mp.plan(0, 100.0, avail)
+        assert take.sum() == pytest.approx(100.0)
+        # the placeable part went remote, the rest stayed local
+        assert take[1] + take[2] > 0
+        assert take[0] > 90.0
+
+    def test_message_counting(self, system):
+        mp = ManagerPolicy(system)
+        mp.plan(0, 1.0, np.array([0.0, 50.0, 80.0]))
+        assert mp.messages >= 4  # 3 reports + 1 request
+
+    def test_level_respected(self):
+        from repro.agreements import loop_structure
+
+        loop = loop_structure(3, share=0.8, skip=1)
+        mp = ManagerPolicy(loop, level=1)
+        take = mp.plan(0, 5.0, np.array([0.0, 50.0, 50.0]))
+        # level 1: only isp2 (donor of isp0) contributes
+        assert take[1] == pytest.approx(0.0, abs=1e-9)
+        assert take[2] > 0
+
+
+class TestSimulationThroughManager:
+    def test_end_to_end_run(self, system):
+        burst = [Request(1_000.0 + i * 0.01, 3e6, 0) for i in range(40)]
+        idle1 = [Request(40_000.0, 1_000.0, 1)]
+        idle2 = [Request(40_000.0, 1_000.0, 2)]
+        cfg = SimulationConfig(
+            n_proxies=3, scheme="lp", epoch=60.0, threshold=5.0,
+            warmup_days=0, measure_days=1, requests_per_day=100.0,
+        )
+        sim = ProxySimulation(cfg, system, streams=[burst, idle1, idle2])
+        sim.policy = ManagerPolicy(system)  # swap in the manager path
+        result = sim.run()
+        assert result.total_redirected > 0
+        assert result.total_requests == 42
+        assert sim.policy.messages > 0

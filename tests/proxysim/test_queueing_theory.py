@@ -1,0 +1,82 @@
+"""Validation against queueing theory.
+
+With a *constant* arrival rate (all Fourier coefficients zero) and no
+sharing, each proxy is an M/G/1 queue, so the simulated mean waiting time
+must match the Pollaczek-Khinchine formula
+
+    E[W] = lambda * E[S^2] / (2 * (1 - rho))
+
+This pins the whole arrival-generation + queue-service pipeline to an
+analytic ground truth, independent of the paper's figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.proxysim import ServiceModel, SimulationConfig, run_simulation
+from repro.workload import DiurnalProfile, LogNormalSizes
+
+
+def run_mg1(lam: float, service: ServiceModel, sizes, seed=0, days=3):
+    profile = DiurnalProfile(
+        requests_per_day=lam * 86_400.0, a1=0.0, a2=0.0
+    )
+    cfg = SimulationConfig(
+        n_proxies=1,
+        scheme="none",
+        profile=profile,
+        requests_per_day=profile.requests_per_day,
+        service=service,
+        sizes=sizes,
+        warmup_days=1,
+        measure_days=days - 1,
+        seed=seed,
+        epoch=300.0,
+    )
+    return run_simulation(cfg)
+
+
+def pk_wait(lam: float, s1: float, s2: float) -> float:
+    rho = lam * s1
+    assert rho < 1
+    return lam * s2 / (2.0 * (1.0 - rho))
+
+
+class TestPollaczekKhinchine:
+    @pytest.mark.parametrize("target_rho", [0.3, 0.6])
+    def test_mg1_mean_wait(self, target_rho):
+        sizes = LogNormalSizes(median=6_000.0, sigma=1.0, max_bytes=1e6)
+        service = ServiceModel(a=1.0, b=1e-4, c=1e9)
+        # Empirical service moments under the size distribution.
+        rng = np.random.default_rng(42)
+        draws = sizes.sample(rng, 400_000)
+        s = service.a + service.b * draws
+        s1, s2 = float(s.mean()), float((s**2).mean())
+        lam = target_rho / s1
+
+        expected = pk_wait(lam, s1, s2)
+        waits = []
+        for seed in (0, 1, 2):
+            res = run_mg1(lam, service, sizes, seed=seed)
+            waits.append(res.overall_mean_wait())
+        measured = float(np.mean(waits))
+        # Heavy-ish tail -> slow convergence; 25% tolerance on 3 seeds.
+        assert measured == pytest.approx(expected, rel=0.25)
+
+    def test_low_utilisation_near_zero_wait(self):
+        sizes = LogNormalSizes(median=6_000.0, sigma=0.5, max_bytes=1e6)
+        service = ServiceModel(a=0.5, b=1e-5, c=1e9)
+        res = run_mg1(0.05, service, sizes, days=2)
+        assert res.overall_mean_wait() < 0.2
+
+    def test_utilisation_ordering(self):
+        """Waits increase steeply with utilisation (rho / (1 - rho))."""
+        sizes = LogNormalSizes(median=6_000.0, sigma=0.8, max_bytes=1e6)
+        service = ServiceModel(a=1.0, b=5e-5, c=1e9)
+        rng = np.random.default_rng(7)
+        s1 = float((service.a + service.b * sizes.sample(rng, 200_000)).mean())
+        w = {}
+        for rho in (0.3, 0.7):
+            res = run_mg1(rho / s1, service, sizes, days=2)
+            w[rho] = res.overall_mean_wait()
+        assert w[0.7] > 3.0 * w[0.3]

@@ -1,0 +1,147 @@
+"""Tests for the proxy simulation loop.
+
+These use a tiny workload (scale 200, 2 proxies where possible) so each
+simulation runs in well under a second; the figure-level behaviour is
+covered by benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agreements import complete_structure
+from repro.errors import SimulationError
+from repro.proxysim import ProxySimulation, SimulationConfig, run_simulation
+from repro.workload import Request
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        n_proxies=2,
+        requests_per_day=800.0,
+        gap=3_600.0,
+        scheme="none",
+        epoch=300.0,
+        threshold=10.0,
+        warmup_days=0,
+        measure_days=1,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConservation:
+    def test_every_request_served_exactly_once(self):
+        cfg = tiny_config()
+        sim = ProxySimulation(cfg)
+        expected = sum(len(s) for s in sim.streams)
+        result = sim.run()
+        assert result.total_requests == expected
+
+    def test_served_once_with_redirection(self):
+        cfg = tiny_config(scheme="lp", n_proxies=3)
+        system = complete_structure(3, 0.1)
+        sim = ProxySimulation(cfg, system)
+        expected = sum(len(s) for s in sim.streams)
+        result = sim.run()
+        assert result.total_requests == expected
+
+    def test_warmup_excluded_from_stats(self):
+        cfg = tiny_config(warmup_days=1, measure_days=1)
+        sim = ProxySimulation(cfg)
+        result = sim.run()
+        measured = sum(
+            1 for s in sim.streams for r in s if r.arrival >= cfg.measure_start
+        )
+        assert result.total_requests == measured
+
+    def test_waits_nonnegative(self):
+        result = run_simulation(tiny_config())
+        assert np.all(result.waits_all.means() >= 0)
+
+
+class TestExternalStreams:
+    def test_supplied_streams_used(self):
+        reqs0 = [Request(100.0 * i, 5_000.0, 0) for i in range(10)]
+        reqs1 = [Request(50.0 + 100.0 * i, 5_000.0, 1) for i in range(10)]
+        cfg = tiny_config(warmup_days=0)
+        result = run_simulation(cfg, streams=[reqs0, reqs1])
+        assert result.total_requests == 20
+
+    def test_stream_count_mismatch(self):
+        with pytest.raises(ValueError, match="streams"):
+            run_simulation(tiny_config(), streams=[[]])
+
+    def test_deterministic_waits_for_fixed_stream(self):
+        """Two closely spaced heavy requests: exact Lindley waits."""
+        service_len = 1_000_000.0  # 0.1 + 1.0 = 1.1 s service
+        reqs = [Request(10.0, service_len, 0), Request(10.5, service_len, 0)]
+        cfg = tiny_config(n_proxies=1, gap=0.0, epoch=100.0)
+        result = run_simulation(cfg, streams=[reqs])
+        # first waits 0; second waits (10 + 1.1) - 10.5 = 0.6
+        total_wait = float(result.waits_all._sum.sum())
+        assert total_wait == pytest.approx(0.6)
+
+
+class TestRedirection:
+    def make_overload(self, scheme, **overrides):
+        """Proxy 0 slammed, proxy 1 idle; redirection should help."""
+        burst = [Request(1000.0 + i * 0.01, 3e6, 0) for i in range(60)]
+        idle = [Request(40_000.0, 1_000.0, 1)]
+        cfg = tiny_config(
+            scheme=scheme, epoch=60.0, threshold=5.0, warmup_days=0,
+            **overrides,
+        )
+        system = complete_structure(2, share=0.5)
+        return run_simulation(cfg, system, streams=[burst, idle])
+
+    def test_no_sharing_never_redirects(self):
+        result = self.make_overload("none")
+        assert result.total_redirected == 0
+
+    def test_lp_redirects_under_overload(self):
+        result = self.make_overload("lp")
+        assert result.total_redirected > 0
+        assert result.scheduler_consults > 0
+        assert result.lp_solves > 0
+
+    def test_sharing_beats_no_sharing(self):
+        none = self.make_overload("none")
+        lp = self.make_overload("lp")
+        assert lp.overall_mean_wait(0) < none.overall_mean_wait(0)
+
+    def test_greedy_and_endpoint_also_redirect(self):
+        for scheme in ("greedy", "endpoint"):
+            result = self.make_overload(scheme)
+            assert result.total_redirected > 0, scheme
+
+    def test_redirect_cost_delays_service(self):
+        cheap = self.make_overload("lp", redirect_cost=0.0)
+        costly = self.make_overload("lp", redirect_cost=30.0)
+        assert costly.overall_mean_wait(0) > cheap.overall_mean_wait(0)
+
+    def test_max_hops_zero_blocks_redirection(self):
+        result = self.make_overload("lp", max_hops=0)
+        assert result.total_redirected == 0
+
+    def test_redirected_requests_counted_at_origin(self):
+        result = self.make_overload("lp")
+        # proxy 1 only generated one request of its own
+        assert int(result.waits_by_proxy[1].counts().sum()) == 1
+
+
+class TestPolicyWiring:
+    def test_lp_scheme_requires_system(self):
+        with pytest.raises(SimulationError, match="needs an agreement system"):
+            run_simulation(tiny_config(scheme="lp"))
+
+    def test_system_size_must_match(self):
+        with pytest.raises(SimulationError, match="principals"):
+            run_simulation(tiny_config(scheme="lp"), complete_structure(5, 0.1))
+
+    def test_summary_keys(self):
+        result = run_simulation(tiny_config())
+        summary = result.summary()
+        for key in ("total_requests", "mean_wait", "worst_case_wait_isp0",
+                    "redirect_fraction"):
+            assert key in summary

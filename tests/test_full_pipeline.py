@@ -1,0 +1,99 @@
+"""Capstone integration: negotiate -> express -> enforce -> operate.
+
+A consortium of four sites with uneven capacity wants guaranteed
+effective capacities.  We (1) *negotiate* the minimal shares meeting the
+targets, (2) *express* them as tickets in a bank, (3) stand up the
+GRM/LRM *managers* over that bank, and (4) verify that grants at the
+negotiated level actually deliver the targets — the whole paper in one
+test.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agreements import AgreementSystem, suggest_shares
+from repro.economy import Bank
+from repro.economy.serialize import bank_from_dict, bank_to_dict
+from repro.manager import (
+    AllocationGrant,
+    AllocationRequestMsg,
+    GlobalResourceManager,
+    InProcessTransport,
+    LocalResourceManager,
+)
+from repro.proxysim.manager_bridge import bank_for_structure
+from repro.units import ResourceVector
+
+SITES = ["hub", "mid", "edge", "new"]
+V = np.array([16.0, 8.0, 4.0, 0.0])
+TARGETS = np.array([16.0, 8.0, 6.0, 4.0])
+
+
+@pytest.fixture
+def negotiated():
+    return suggest_shares(SITES, V, TARGETS)
+
+
+class TestNegotiateExpressEnforce:
+    def test_negotiated_targets_hold(self, negotiated):
+        assert np.all(negotiated.capacities(1) >= TARGETS - 1e-6)
+
+    def test_expression_round_trip(self, negotiated):
+        """Shares -> tickets -> flattened matrices reproduces S exactly."""
+        bank = bank_for_structure(negotiated)
+        for site, cap in zip(SITES, V):
+            if cap > 0:
+                bank.deposit_capacity(site, float(cap), "general")
+        system = AgreementSystem.from_bank(bank)
+        np.testing.assert_allclose(system.S, negotiated.S, atol=1e-9)
+        np.testing.assert_allclose(system.V, V)
+        # ... and survives JSON persistence
+        system2 = AgreementSystem.from_bank(bank_from_dict(bank_to_dict(bank)))
+        np.testing.assert_allclose(system2.S, negotiated.S, atol=1e-9)
+
+    def test_managers_deliver_targets(self, negotiated):
+        bank = bank_for_structure(negotiated)
+        transport = InProcessTransport()
+        grm = GlobalResourceManager("grm", bank)
+        grm.attach(transport)
+        lrms = {}
+        for site, cap in zip(SITES, V):
+            if float(cap) > 0:
+                bank.deposit_capacity(site, float(cap), "general")
+            lrm = LocalResourceManager(site, ResourceVector(general=float(cap)))
+            lrm.attach(transport)
+            lrms[site] = lrm
+            lrm.report()
+
+        # Every site can obtain its full target through the GRM.
+        for site, target in zip(SITES, TARGETS):
+            if target <= 0:
+                continue
+            grant = transport.send(
+                "grm",
+                AllocationRequestMsg(sender=site, principal=site,
+                                     amount=float(target)),
+            )
+            assert isinstance(grant, AllocationGrant), site
+            assert grant.total == pytest.approx(float(target))
+            # Fulfil and then release so the next site starts clean.
+            for donor, amount in grant.takes:
+                lrms[donor].reserve(grant.msg_id, ResourceVector(general=amount))
+            from repro.manager import ReleaseMsg
+
+            transport.send("grm", ReleaseMsg(sender=site, grant_id=grant.msg_id))
+            for donor, _ in grant.takes:
+                lrms[donor].release(grant.msg_id)
+
+        assert grm.requests_denied == 0
+
+    def test_simultaneous_targets_not_guaranteed(self, negotiated):
+        """The targets are per-principal guarantees, not a simultaneous
+        allocation: the hub's capacity backs several agreements at once
+        (the paper's sharing semantics), so claiming everything at the
+        same time can exhaust raw capacity."""
+        total_targets = float(TARGETS.sum())
+        # Here the guarantees genuinely oversubscribe the raw capacity —
+        # 34 promised against 28 owned — which sharing semantics permit
+        # (each guarantee holds in isolation; the hub backs several).
+        assert total_targets > float(V.sum())

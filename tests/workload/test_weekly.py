@@ -1,0 +1,80 @@
+"""Tests for weekly (day-of-week modulated) profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workload import DiurnalProfile, RequestStream
+from repro.workload.diurnal import DAY_SECONDS
+from repro.workload.weekly import WEEK_SECONDS, WeeklyProfile
+
+
+class TestWeeklyProfile:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            WeeklyProfile(day_factors=(1.0,) * 6)
+        with pytest.raises(WorkloadError):
+            WeeklyProfile(day_factors=(1.0,) * 6 + (0.0,))
+
+    def test_weekday_modulation(self):
+        base = DiurnalProfile(requests_per_day=86_400.0, a1=0.0, a2=0.0)
+        weekly = WeeklyProfile(base, day_factors=(2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0))
+        mean = np.mean([2.0, 1, 1, 1, 1, 1, 1])
+        # Monday (day 0) is 2/mean of the base rate; Tuesday 1/mean.
+        assert weekly.rate(3_600.0) == pytest.approx(base.rate(3_600.0) * 2 / mean)
+        assert weekly.rate(DAY_SECONDS + 3_600.0) == pytest.approx(
+            base.rate(3_600.0) / mean
+        )
+
+    def test_week_wraps(self):
+        weekly = WeeklyProfile(DiurnalProfile(requests_per_day=1_000.0))
+        assert weekly.rate(100.0) == pytest.approx(weekly.rate(100.0 + WEEK_SECONDS))
+
+    def test_weekly_average_preserved(self):
+        weekly = WeeklyProfile(DiurnalProfile(requests_per_day=10_000.0))
+        total = weekly.expected_count(0.0, WEEK_SECONDS, steps=7 * 512)
+        assert total == pytest.approx(7 * 10_000.0, rel=0.01)
+
+    def test_skew_shifts_day_boundaries(self):
+        weekly = WeeklyProfile(
+            DiurnalProfile(requests_per_day=86_400.0, a1=0.0, a2=0.0),
+            day_factors=(2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+        )
+        shifted = weekly.with_skew(DAY_SECONDS)
+        # after a one-day skew, "Monday rates" appear one day later
+        assert shifted.rate(DAY_SECONDS + 100.0) == pytest.approx(weekly.rate(100.0))
+
+    def test_scaled(self):
+        weekly = WeeklyProfile(DiurnalProfile(requests_per_day=1_000.0))
+        assert weekly.scaled(3.0).rate(50.0) == pytest.approx(3 * weekly.rate(50.0))
+
+
+class TestSimulatorCompatibility:
+    def test_proxy_simulation_accepts_weekly_profile(self):
+        from repro.proxysim import SimulationConfig, run_simulation
+
+        weekly = WeeklyProfile(
+            DiurnalProfile(requests_per_day=400.0),
+            day_factors=(1.5, 1.0, 1.0, 1.0, 1.0, 0.5, 0.5),
+        )
+        cfg = SimulationConfig(
+            n_proxies=2, scheme="none", profile=weekly,
+            requests_per_day=400.0, warmup_days=0, measure_days=1,
+            epoch=600.0,
+        )
+        result = run_simulation(cfg)
+        assert result.total_requests > 0
+
+
+class TestStreamCompatibility:
+    def test_request_stream_accepts_weekly_profile(self):
+        weekly = WeeklyProfile(
+            DiurnalProfile(requests_per_day=2_000.0),
+            day_factors=(1.5, 1.0, 1.0, 1.0, 1.0, 0.5, 0.5),
+        )
+        stream = RequestStream(weekly, horizon=WEEK_SECONDS)
+        reqs = stream.sample(np.random.default_rng(0))
+        assert len(reqs) == pytest.approx(14_000, rel=0.1)
+        # Monday (boosted) has more arrivals than Saturday (suppressed).
+        days = np.array([r.arrival // DAY_SECONDS for r in reqs])
+        assert np.sum(days == 0) > 1.5 * np.sum(days == 5)
