@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Replay a repro.obs JSONL trace into human-readable summary tables.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_report.py run.jsonl
+    PYTHONPATH=src python scripts/obs_report.py run.jsonl --json
+
+``--json`` emits the aggregated summary as JSON instead of tables, for
+piping into other tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.events import read_trace  # noqa: E402
+from repro.obs.report import render_trace, summarize_trace  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="path to a JSONL trace written by repro.obs")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the aggregated summary as JSON"
+    )
+    args = parser.parse_args(argv)
+    if not Path(args.trace).exists():
+        parser.error(f"trace file not found: {args.trace}")
+    try:
+        if args.json:
+            print(json.dumps(summarize_trace(read_trace(args.trace)), indent=2))
+        else:
+            print(render_trace(args.trace))
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import AgreementError
+from ..obs import get_observer
 
 __all__ = [
     "transitive_coefficients",
@@ -173,7 +174,13 @@ def transitive_coefficients(
         ) from None
     if m == 0:
         return np.zeros((n, n))
-    return fn(S, m)
+    obs = get_observer()
+    with obs.span("flow.coefficients", method=method, n=n, hop_depth=m):
+        T = fn(S, m)
+    if obs.enabled:
+        obs.counter("flow.builds", method=method)
+        obs.histogram("flow.hop_depth", m)
+    return T
 
 
 def flow_matrix(V: np.ndarray, T: np.ndarray) -> np.ndarray:

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..agreements.matrix import AgreementSystem
 from ..errors import AllocationError, InsufficientResourcesError
+from ..obs import get_observer
 from .lp_allocator import allocate_lp
 from .problem import Allocation, AllocationRequest
 
@@ -112,67 +113,87 @@ def allocate_hierarchical(
     request = AllocationRequest(principal, amount, level)
     x = float(amount)
     take = np.zeros(n)
+    obs = get_observer()
+    span = obs.span(
+        "allocation.hierarchical", principal=principal, amount=x,
+        groups=len(groups),
+    )
 
     # Fast path: the whole request fits inside the requester's group.
-    local_sys = _subsystem(system, groups[home])
-    local_cap = local_sys.capacity_of(principal, level)
-    if x <= local_cap + _TOL:
-        plan = allocate_lp(local_sys, principal, x, level=level, backend=backend)
-        for m, t in zip(groups[home], plan.take):
-            take[m] = t
-        return _finish(system, request, take, x, level)
+    with span:
+        local_sys = _subsystem(system, groups[home])
+        local_cap = local_sys.capacity_of(principal, level)
+        if x <= local_cap + _TOL:
+            span.set(path="local")
+            plan = allocate_lp(local_sys, principal, x, level=level, backend=backend)
+            for m, t in zip(groups[home], plan.take):
+                take[m] = t
+            return _finish(system, request, take, x, level)
 
-    remaining = x
-    current = system
-    for _iteration in range(len(groups) + 2):
-        if remaining <= _TOL:
-            break
-        coarse = coarsen(current, groups)
-        # The home group's deliverable capacity is what the requester can
-        # actually reach through intra-group agreements, not the raw member
-        # sum — otherwise the coarse LP keeps "allocating" locally work that
-        # refinement cannot extract.
-        home_deliverable = _subsystem(current, groups[home]).capacity_of(
-            principal, level
-        )
-        Vc = coarse.V.copy()
-        Vc[home] = home_deliverable
-        coarse = coarse.with_capacities(Vc)
-        coarse_cap = coarse.capacity_of(f"group{home}", level)
-        ask = min(remaining, coarse_cap)
-        if ask <= _TOL:
-            break
-        coarse_plan = allocate_lp(
-            coarse, f"group{home}", ask, level=level, backend=backend,
-            partial=True,
-        )
-        round_take = np.zeros(n)
-        for gi, contribution in enumerate(coarse_plan.take):
-            if contribution <= _TOL:
-                continue
-            members = groups[gi]
-            sub = _subsystem(current, members)
-            if gi == home:
-                plan = allocate_lp(
-                    sub, principal, float(contribution), level=level,
-                    backend=backend, partial=True,
-                )
-                member_take = plan.take
-            else:
-                member_take = _spread_within(sub, float(contribution))
-            for m, t in zip(members, member_take):
-                round_take[m] += t
-        got = float(round_take.sum())
-        if got <= _TOL:
-            break  # stalled: nothing more is extractable
-        take += round_take
-        remaining -= got
-        current = current.with_capacities(np.maximum(current.V - round_take, 0.0))
+        remaining = x
+        current = system
+        rounds = 0
+        for _iteration in range(len(groups) + 2):
+            if remaining <= _TOL:
+                break
+            rounds += 1
+            coarse = coarsen(current, groups)
+            # The home group's deliverable capacity is what the requester can
+            # actually reach through intra-group agreements, not the raw member
+            # sum — otherwise the coarse LP keeps "allocating" locally work that
+            # refinement cannot extract.
+            home_deliverable = _subsystem(current, groups[home]).capacity_of(
+                principal, level
+            )
+            Vc = coarse.V.copy()
+            Vc[home] = home_deliverable
+            coarse = coarse.with_capacities(Vc)
+            coarse_cap = coarse.capacity_of(f"group{home}", level)
+            ask = min(remaining, coarse_cap)
+            if ask <= _TOL:
+                break
+            coarse_plan = allocate_lp(
+                coarse, f"group{home}", ask, level=level, backend=backend,
+                partial=True,
+            )
+            round_take = np.zeros(n)
+            for gi, contribution in enumerate(coarse_plan.take):
+                if contribution <= _TOL:
+                    continue
+                members = groups[gi]
+                sub = _subsystem(current, members)
+                if gi == home:
+                    plan = allocate_lp(
+                        sub, principal, float(contribution), level=level,
+                        backend=backend, partial=True,
+                    )
+                    member_take = plan.take
+                else:
+                    member_take = _spread_within(sub, float(contribution))
+                for m, t in zip(members, member_take):
+                    round_take[m] += t
+            got = float(round_take.sum())
+            if got <= _TOL:
+                break  # stalled: nothing more is extractable
+            take += round_take
+            remaining -= got
+            current = current.with_capacities(np.maximum(current.V - round_take, 0.0))
 
-    satisfied = float(take.sum())
-    if remaining > 1e-6 and not partial:
-        # Undo nothing — this is a pure planning function; just report.
-        raise InsufficientResourcesError(principal, x, satisfied)
+        satisfied = float(take.sum())
+        if obs.enabled:
+            donors = int(np.count_nonzero(take > _TOL))
+            obs.counter("allocation.requests", scheme="hierarchical")
+            obs.histogram("allocation.hierarchical.rounds", rounds)
+            obs.histogram("allocation.donors", donors)
+            span.set(path="multigrid", rounds=rounds, donors=donors,
+                     satisfied=satisfied)
+        if remaining > 1e-6 and not partial:
+            # Undo nothing — this is a pure planning function; just report.
+            obs.event(
+                "allocation.insufficient", principal=principal,
+                requested=x, available=satisfied, scheme="hierarchical",
+            )
+            raise InsufficientResourcesError(principal, x, satisfied)
     return _finish(system, request, take, satisfied, level)
 
 

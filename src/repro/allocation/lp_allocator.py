@@ -52,6 +52,7 @@ from ..errors import (
     LPError,
 )
 from ..lp import LinearProgram
+from ..obs import get_observer
 from .problem import Allocation, AllocationRequest
 
 __all__ = ["allocate_lp"]
@@ -99,34 +100,58 @@ def allocate_lp(
     request = AllocationRequest(principal, amount, level)
     a = system.index(principal)
     n = system.n
-    V = system.V
-    U = system.u(level)  # inflow bounds, absolute agreements included
-    C = system.capacities(level)
-    T = system.coefficients(level)
+    obs = get_observer()
+    with obs.span(
+        "allocation.request", principal=principal, amount=float(amount), n=n
+    ) as sp:
+        V = system.V
+        U = system.u(level)  # inflow bounds, absolute agreements included
+        C = system.capacities(level)
+        T = system.coefficients(level)
 
-    x = float(amount)
-    cap = float(C[a])
-    if x > cap + _TOL:
-        if not partial:
-            raise InsufficientResourcesError(principal, x, cap)
-        x = cap
-    if x <= _TOL:
-        return _make_result(system, request, np.zeros(n), 0.0, 0.0, level)
+        x = float(amount)
+        cap = float(C[a])
+        if x > cap + _TOL:
+            if not partial:
+                obs.counter("allocation.denied")
+                obs.event(
+                    "allocation.insufficient", principal=principal,
+                    requested=x, available=cap,
+                )
+                raise InsufficientResourcesError(principal, x, cap)
+            x = cap
+        if x <= _TOL:
+            return _make_result(system, request, np.zeros(n), 0.0, 0.0, level)
 
-    if objective not in ("others", "all"):
-        raise LPError(f"unknown objective {objective!r}; use 'others' or 'all'")
-    if formulation == "reduced" and backend == "scipy":
-        # Hot path for the simulator: build the arrays directly instead of
-        # going through the expression layer (identical LP, ~2x faster).
-        take, theta = _solve_reduced_arrays(n, a, x, V, U, T, objective)
-    elif formulation == "reduced":
-        take, theta = _solve_reduced(n, a, x, V, U, T, objective, backend)
-    elif formulation == "faithful":
-        take, theta = _solve_faithful(n, a, x, V, U, T, C, objective, backend)
-    else:
-        raise LPError(
-            f"unknown formulation {formulation!r}; use 'reduced' or 'faithful'"
-        )
+        if objective not in ("others", "all"):
+            raise LPError(f"unknown objective {objective!r}; use 'others' or 'all'")
+        try:
+            if formulation == "reduced" and backend == "scipy":
+                # Hot path for the simulator: build the arrays directly
+                # instead of going through the expression layer (identical
+                # LP, ~2x faster).
+                take, theta = _solve_reduced_arrays(n, a, x, V, U, T, objective)
+            elif formulation == "reduced":
+                take, theta = _solve_reduced(n, a, x, V, U, T, objective, backend)
+            elif formulation == "faithful":
+                take, theta = _solve_faithful(n, a, x, V, U, T, C, objective, backend)
+            else:
+                raise LPError(
+                    f"unknown formulation {formulation!r}; use 'reduced' or 'faithful'"
+                )
+        except InfeasibleAllocationError:
+            obs.counter("allocation.infeasible")
+            obs.event(
+                "allocation.infeasible", principal=principal, amount=x,
+                formulation=formulation, backend=backend,
+            )
+            raise
+        if obs.enabled:
+            donors = int(np.count_nonzero(take > _TOL))
+            obs.counter("allocation.requests", scheme="lp")
+            obs.histogram("allocation.theta", theta)
+            obs.histogram("allocation.donors", donors)
+            sp.set(theta=theta, donors=donors, satisfied=x)
     return _make_result(system, request, take, theta, x, level)
 
 
@@ -159,10 +184,17 @@ def _solve_reduced_arrays(n, a, x, V, U, T, objective):
     c = np.zeros(n + 1)
     c[n] = 1.0
     bounds = [(0.0, float(u)) for u in ub] + [(0.0, None)]
-    res = linprog(
-        c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=[x], bounds=bounds,
-        method="highs",
-    )
+    obs = get_observer()
+    with obs.span("lp.solve", backend="scipy", model="allocate-reduced-arrays") as sp:
+        res = linprog(
+            c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=[x], bounds=bounds,
+            method="highs",
+        )
+        if obs.enabled:
+            iterations = int(getattr(res, "nit", 0) or 0)
+            obs.counter("lp.solves", backend="scipy")
+            obs.histogram("lp.iterations", iterations, backend="scipy")
+            sp.set(status=int(res.status), iterations=iterations)
     if res.status != 0:
         raise InfeasibleAllocationError(
             f"allocation LP failed (scipy status {res.status}): {res.message}"

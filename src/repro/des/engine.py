@@ -9,10 +9,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
+from ..obs import get_observer
 
 __all__ = ["Engine", "Event"]
 
@@ -47,6 +49,7 @@ class Engine:
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
+        self.events_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -85,23 +88,42 @@ class Engine:
             raise SimulationError("Engine.run is not re-entrant")
         self._running = True
         fired = 0
+        skipped = 0
+        sim_start = self._now
+        wall_start = time.perf_counter()
         try:
             while self._heap:
                 if until is not None and self._heap[0].time > until:
                     break
                 ev = heapq.heappop(self._heap)
                 if ev.cancelled:
+                    skipped += 1
                     continue
                 self._now = ev.time
                 ev.fn()
                 fired += 1
-                self.events_processed += 1
                 if max_events is not None and fired >= max_events:
                     return
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
+            self.events_processed += fired
+            self.events_cancelled += skipped
+            obs = get_observer()
+            if obs.enabled:
+                wall = time.perf_counter() - wall_start
+                obs.counter("des.events_fired", fired)
+                obs.counter("des.events_cancelled", skipped)
+                obs.event(
+                    "des.run",
+                    fired=fired,
+                    cancelled=skipped,
+                    sim_time=self._now - sim_start,
+                    wall_seconds=round(wall, 6),
+                )
+                if wall > 0:
+                    obs.gauge("des.sim_wall_ratio", (self._now - sim_start) / wall)
 
     def __repr__(self) -> str:
         return f"Engine(now={self._now:g}, pending={self.pending})"

@@ -7,8 +7,6 @@ the terminal — the closest offline equivalent of the paper's plots.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 __all__ = ["sparkline", "ascii_chart", "render_series"]

@@ -6,6 +6,7 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ..errors import LPSolverError
+from ..obs import get_observer
 from .result import LPResult, LPStatus
 
 __all__ = ["solve_scipy"]
@@ -26,20 +27,31 @@ def solve_scipy(model, method: str = "highs") -> LPResult:
     (status 4); infeasible/unbounded outcomes are reported in the result so
     callers can turn them into domain errors.
     """
+    obs = get_observer()
     c, A_ub, b_ub, A_eq, b_eq, bounds, const = model.to_arrays()
-    res = linprog(
-        c,
-        A_ub=A_ub if A_ub.size else None,
-        b_ub=b_ub if b_ub.size else None,
-        A_eq=A_eq if A_eq.size else None,
-        b_eq=b_eq if b_eq.size else None,
-        bounds=bounds,
-        method=method,
-    )
-    status = _STATUS_MAP.get(res.status, LPStatus.ERROR)
-    if status is LPStatus.ERROR and res.status == 4:
-        raise LPSolverError(f"scipy linprog failed on {model.name!r}: {res.message}")
+    with obs.span("lp.solve", backend="scipy", model=model.name) as sp:
+        res = linprog(
+            c,
+            A_ub=A_ub if A_ub.size else None,
+            b_ub=b_ub if b_ub.size else None,
+            A_eq=A_eq if A_eq.size else None,
+            b_eq=b_eq if b_eq.size else None,
+            bounds=bounds,
+            method=method,
+        )
+        status = _STATUS_MAP.get(res.status, LPStatus.ERROR)
+        iterations = int(getattr(res, "nit", 0) or 0)
+        if obs.enabled:
+            obs.counter("lp.solves", backend="scipy")
+            obs.histogram("lp.iterations", iterations, backend="scipy")
+            sp.set(status=status.value, iterations=iterations)
+        if status is LPStatus.ERROR and res.status == 4:
+            obs.event(
+                "lp.solver_error", backend="scipy", model=model.name,
+                message=str(res.message),
+            )
+            obs.counter("lp.solver_errors", backend="scipy")
+            raise LPSolverError(f"scipy linprog failed on {model.name!r}: {res.message}")
     x = np.asarray(res.x) if res.x is not None else np.full(model.num_variables, np.nan)
     objective = float(res.fun) + const if status is LPStatus.OPTIMAL else float("nan")
-    iterations = int(getattr(res, "nit", 0) or 0)
     return LPResult(status=status, objective=objective, x=x, backend="scipy", iterations=iterations)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import LPSolverError
+from ..obs import get_observer
 from .result import LPResult, LPStatus
 
 __all__ = ["solve_simplex"]
@@ -203,6 +204,17 @@ def _simplex_core(A, b, c, basis, max_iter) -> tuple[str, int]:
 
 def solve_simplex(model, max_iter: int = 50_000) -> LPResult:
     """Solve a :class:`~repro.lp.model.LinearProgram` with two-phase simplex."""
+    obs = get_observer()
+    with obs.span("lp.solve", backend="simplex", model=model.name) as sp:
+        result = _solve_simplex_inner(model, max_iter)
+        if obs.enabled:
+            obs.counter("lp.solves", backend="simplex")
+            obs.histogram("lp.iterations", result.iterations, backend="simplex")
+            sp.set(status=result.status.value, iterations=result.iterations)
+    return result
+
+
+def _solve_simplex_inner(model, max_iter: int) -> LPResult:
     sf = _to_standard_form(model)
     A, b, c = sf.A.copy(), sf.b.copy(), sf.c.copy()
     m, n = A.shape

@@ -20,6 +20,7 @@ from ..errors import (
     ManagerError,
     UnknownPrincipalError,
 )
+from ..obs import get_observer
 from ..units import ResourceVector
 from .messages import (
     AllocationDenied,
@@ -100,43 +101,50 @@ class GlobalResourceManager:
         if msg.principal not in principals:
             raise UnknownPrincipalError(msg.principal)
         if msg.principal in self._delegates and self.transport is not None:
+            get_observer().counter("grm.delegated", grm=self.name)
             return self.transport.send(self._delegates[msg.principal], msg)
 
-        system = AgreementSystem.from_bank(self.bank, msg.resource_type)
-        live = system.with_capacities(self.availability_vector(msg.resource_type))
-        try:
-            allocation = allocate_lp(
-                live, msg.principal, msg.amount, level=msg.level
+        obs = get_observer()
+        with obs.span("grm.allocate", grm=self.name, principal=msg.principal):
+            system = AgreementSystem.from_bank(self.bank, msg.resource_type)
+            live = system.with_capacities(
+                self.availability_vector(msg.resource_type)
             )
-        except InsufficientResourcesError as exc:
-            self.requests_denied += 1
-            return AllocationDenied(
+            try:
+                allocation = allocate_lp(
+                    live, msg.principal, msg.amount, level=msg.level
+                )
+            except InsufficientResourcesError as exc:
+                self.requests_denied += 1
+                obs.counter("grm.requests_denied", grm=self.name)
+                return AllocationDenied(
+                    sender=self.name,
+                    request_id=msg.msg_id,
+                    reason=str(exc),
+                    available=exc.available,
+                )
+            takes = tuple(
+                (p, float(t))
+                for p, t in zip(principals, allocation.take)
+                if t > 1e-12
+            )
+            grant = AllocationGrant(
                 sender=self.name,
                 request_id=msg.msg_id,
-                reason=str(exc),
-                available=exc.available,
+                takes=takes,
+                theta=allocation.theta,
             )
-        takes = tuple(
-            (p, float(t))
-            for p, t in zip(principals, allocation.take)
-            if t > 1e-12
-        )
-        grant = AllocationGrant(
-            sender=self.name,
-            request_id=msg.msg_id,
-            takes=takes,
-            theta=allocation.theta,
-        )
-        # Update cached availability until fresh reports arrive, and
-        # remember the grant so a release can restore it.
-        for p, t in takes:
-            key = (p, msg.resource_type)
-            self._availability[key] = max(
-                self._availability.get(key, 0.0) - t, 0.0
-            )
-        self._grants[grant.msg_id] = (msg.resource_type, takes)
-        self.requests_served += 1
-        return grant
+            # Update cached availability until fresh reports arrive, and
+            # remember the grant so a release can restore it.
+            for p, t in takes:
+                key = (p, msg.resource_type)
+                self._availability[key] = max(
+                    self._availability.get(key, 0.0) - t, 0.0
+                )
+            self._grants[grant.msg_id] = (msg.resource_type, takes)
+            self.requests_served += 1
+            obs.counter("grm.requests_served", grm=self.name)
+            return grant
 
     def _release(self, msg: ReleaseMsg) -> None:
         try:

@@ -9,6 +9,7 @@ per grant so releases restore exactly what was taken.
 from __future__ import annotations
 
 from ..errors import ManagerError
+from ..obs import get_observer
 from ..units import ResourceVector
 from .messages import AvailabilityReport, Message
 
@@ -79,6 +80,7 @@ class LocalResourceManager:
         """Push an availability report to the GRM."""
         if self.transport is None:
             raise ManagerError(f"LRM {self.principal!r} is not attached")
+        get_observer().counter("lrm.reports", principal=self.principal)
         return self.transport.send(
             self.grm,
             AvailabilityReport(

@@ -5,14 +5,22 @@ GRM/LRM system: named endpoints, FIFO mailboxes, synchronous ``deliver``.
 Keeping the transport explicit (instead of direct method calls) preserves
 the protocol boundary — every GRM/LRM interaction goes through messages
 that a real distributed deployment could serialise.
+
+Message accounting: ``delivered`` is the global count (kept for
+backwards compatibility), ``sent_by_endpoint`` / ``received_by_endpoint``
+break it down per endpoint, and when :mod:`repro.obs` is enabled the same
+counts flow into the shared registry (``transport.sent{endpoint=...}``)
+along with a per-endpoint handler-latency histogram.
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Callable
 
 from ..errors import ManagerError
+from ..obs import get_observer
 from .messages import Message
 
 __all__ = ["InProcessTransport"]
@@ -30,6 +38,8 @@ class InProcessTransport:
         self._handlers: dict[str, Callable[[Message], Message | None]] = {}
         self._mailboxes: dict[str, deque[Message]] = {}
         self.delivered = 0
+        self.sent_by_endpoint: dict[str, int] = {}
+        self.received_by_endpoint: dict[str, int] = {}
 
     def register(
         self,
@@ -39,18 +49,38 @@ class InProcessTransport:
         if name in self._mailboxes:
             raise ManagerError(f"endpoint {name!r} already registered")
         self._mailboxes[name] = deque()
+        self.sent_by_endpoint[name] = 0
+        self.received_by_endpoint[name] = 0
         if handler is not None:
             self._handlers[name] = handler
 
     def endpoints(self) -> list[str]:
         return list(self._mailboxes)
 
+    def _unknown(self, name: str) -> ManagerError:
+        known = ", ".join(sorted(self._mailboxes)) or "<none registered>"
+        return ManagerError(f"unknown endpoint {name!r}; known endpoints: {known}")
+
     def send(self, to: str, message: Message) -> Message | None:
         """Deliver a message; returns the handler's reply, if any."""
         if to not in self._mailboxes:
-            raise ManagerError(f"unknown endpoint {to!r}")
+            raise self._unknown(to)
         self.delivered += 1
+        self.sent_by_endpoint[to] += 1
+        obs = get_observer()
         handler = self._handlers.get(to)
+        if obs.enabled:
+            obs.counter("transport.sent", endpoint=to, type=type(message).__name__)
+            if handler is not None:
+                start = time.perf_counter()
+                try:
+                    return handler(message)
+                finally:
+                    obs.histogram(
+                        "transport.handle_seconds",
+                        time.perf_counter() - start,
+                        endpoint=to,
+                    )
         if handler is not None:
             return handler(message)
         self._mailboxes[to].append(message)
@@ -59,11 +89,15 @@ class InProcessTransport:
     def receive(self, name: str) -> Message | None:
         """Pop the oldest queued message for a pull endpoint."""
         if name not in self._mailboxes:
-            raise ManagerError(f"unknown endpoint {name!r}")
+            raise self._unknown(name)
         box = self._mailboxes[name]
-        return box.popleft() if box else None
+        if not box:
+            return None
+        self.received_by_endpoint[name] += 1
+        get_observer().counter("transport.received", endpoint=name)
+        return box.popleft()
 
     def pending(self, name: str) -> int:
         if name not in self._mailboxes:
-            raise ManagerError(f"unknown endpoint {name!r}")
+            raise self._unknown(name)
         return len(self._mailboxes[name])

@@ -1,0 +1,207 @@
+"""repro.obs — structured tracing, metrics, and profiling hooks.
+
+The library's hot paths (LP solves, flow-matrix builds, GRM/LRM message
+round-trips, the DES loop) are instrumented against a process-global
+*observer*.  By default that observer is the zero-overhead
+:class:`~repro.obs.null.NullObserver`, so nothing is measured and
+benchmark numbers are unchanged.  Switch it on with::
+
+    import repro.obs as obs
+    obs.enable(trace_path="run.jsonl")   # or obs.enable() for metrics only
+    ... run workload ...
+    print(obs.report())                  # live metrics tables
+    obs.disable()                        # flushes + closes the trace
+
+or from the environment, with no code changes::
+
+    REPRO_OBS=1 python examples/quickstart.py
+    REPRO_OBS=1 REPRO_OBS_TRACE=run.jsonl python examples/tracing_demo.py
+
+A written trace is replayed into summary tables by
+``scripts/obs_report.py`` (or :func:`repro.obs.report.render_trace`).
+
+Instrumented call sites follow one pattern::
+
+    from ..obs import get_observer
+    ...
+    obs = get_observer()
+    with obs.span("lp.solve", backend="scipy") as sp:
+        ...
+    obs.counter("lp.solves", backend="scipy")
+
+Spans automatically feed a duration histogram named ``span.<name>``, so
+enabling metrics alone (no trace file) still yields timing breakdowns.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from pathlib import Path
+
+from .events import EventLog
+from .null import NULL_OBSERVER, NullObserver
+from .registry import MetricsRegistry
+from .report import render_snapshot, render_trace
+from .tracing import Span, Tracer, traced
+
+__all__ = [
+    "Observer",
+    "NullObserver",
+    "MetricsRegistry",
+    "Tracer",
+    "Span",
+    "traced",
+    "get_observer",
+    "enable",
+    "disable",
+    "report",
+    "render_snapshot",
+    "render_trace",
+]
+
+
+class Observer:
+    """A live observer: metrics registry + tracer + optional JSONL export.
+
+    All instrumentation funnels through five methods (shared with
+    :class:`~repro.obs.null.NullObserver`):
+
+    - :meth:`counter` / :meth:`gauge` / :meth:`histogram` — metrics;
+    - :meth:`span` — a timed context manager, recorded as both a
+      ``span.<name>`` histogram and (if tracing) a JSONL line;
+    - :meth:`event` — a discrete structured record (only meaningful with
+      a trace path; otherwise kept in memory for inspection).
+    """
+
+    enabled = True
+
+    def __init__(self, trace_path: str | Path | None = None):
+        self.registry = MetricsRegistry()
+        self.events_log = EventLog(trace_path)
+        self.tracer = Tracer(self._on_span_close)
+
+    # -- metrics ------------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1, **labels) -> None:
+        self.registry.counter_inc(name, value, **labels)
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        self.registry.gauge_set(name, value, **labels)
+
+    def histogram(self, name: str, value: float, **labels) -> None:
+        self.registry.observe(name, value, **labels)
+
+    # -- tracing ------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        return self.tracer.span(name, **attrs)
+
+    def _on_span_close(self, span: Span) -> None:
+        self.registry.observe(f"span.{span.name}", span.duration)
+        self.events_log.emit(
+            {
+                "kind": "span",
+                "name": span.name,
+                "path": span.path,
+                "dur": round(span.duration, 9),
+                "attrs": span.attrs,
+            }
+        )
+
+    # -- events -------------------------------------------------------------
+
+    def event(self, kind: str, **fields) -> None:
+        self.events_log.emit({"kind": "event", "event": kind, **fields})
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write the current metric snapshot into the trace and flush."""
+        snap = self.registry.snapshot()
+        for name, series in snap["counters"].items():
+            for labels, value in series.items():
+                self.events_log.emit(
+                    {"kind": "metric", "metric": "counter", "name": name,
+                     "labels": labels, "value": value}
+                )
+        for name, series in snap["gauges"].items():
+            for labels, value in series.items():
+                self.events_log.emit(
+                    {"kind": "metric", "metric": "gauge", "name": name,
+                     "labels": labels, "value": value}
+                )
+        for name, series in snap["histograms"].items():
+            for labels, summary in series.items():
+                self.events_log.emit(
+                    {"kind": "metric", "metric": "histogram", "name": name,
+                     "labels": labels, "summary": summary}
+                )
+        self.events_log.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self.events_log.close()
+
+    def report(self) -> str:
+        """Render the live metrics as human-readable tables."""
+        return render_snapshot(self.registry.snapshot())
+
+
+# -- the process-global observer -------------------------------------------
+
+_observer: Observer | NullObserver = NULL_OBSERVER
+
+
+def get_observer() -> Observer | NullObserver:
+    """The current process-global observer (the null one when disabled)."""
+    return _observer
+
+
+_atexit_registered = False
+
+
+def _close_at_exit() -> None:
+    if isinstance(_observer, Observer):
+        _observer.close()
+
+
+def enable(trace_path: str | Path | None = None) -> Observer:
+    """Switch observability on, replacing any previous observer.
+
+    ``trace_path`` makes every span/event (and, on flush, the metric
+    snapshot) stream to a JSONL file; without it, metrics and spans
+    aggregate in memory only.  The trace is flushed and closed on
+    :func:`disable` or, failing that, at interpreter exit.
+    """
+    global _observer, _atexit_registered
+    if isinstance(_observer, Observer):
+        _observer.close()
+    _observer = Observer(trace_path)
+    if not _atexit_registered:
+        atexit.register(_close_at_exit)
+        _atexit_registered = True
+    return _observer
+
+
+def disable() -> None:
+    """Switch observability off (flushing and closing any open trace)."""
+    global _observer
+    if isinstance(_observer, Observer):
+        _observer.close()
+    _observer = NULL_OBSERVER
+
+
+def report() -> str:
+    """Report from the current observer ('(observability disabled)' if off)."""
+    if isinstance(_observer, Observer):
+        return _observer.report()
+    return "(observability disabled)"
+
+
+def _env_truthy(value: str | None) -> bool:
+    return value is not None and value.strip().lower() not in ("", "0", "false", "no")
+
+
+if _env_truthy(os.environ.get("REPRO_OBS")):
+    enable(trace_path=os.environ.get("REPRO_OBS_TRACE") or None)

@@ -1,0 +1,86 @@
+"""Structured JSONL event export.
+
+One line per record, each a self-describing JSON object with a ``kind``
+field:
+
+- ``{"kind": "span", "name": ..., "path": ..., "dur": ..., "attrs": {...}}``
+- ``{"kind": "event", "event": ..., ...free-form fields...}``
+- ``{"kind": "metric", "metric": "counter"|"gauge"|"histogram",
+   "name": ..., "labels": ..., ...}`` — snapshot lines written on flush.
+
+Every record carries ``ts``, seconds since the log was opened (wall
+clock), so traces are self-contained and replayable by
+``scripts/obs_report.py`` without any in-process state.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["EventLog", "read_trace"]
+
+
+class EventLog:
+    """Append-only JSONL writer (or in-memory buffer when ``path`` is None)."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._t0 = time.perf_counter()
+        self._records: list[dict] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+        else:
+            self._fh = None
+            self._records = []
+
+    def emit(self, record: dict) -> None:
+        record.setdefault("ts", round(time.perf_counter() - self._t0, 6))
+        if self._fh is not None:
+            self._fh.write(json.dumps(record, default=_jsonable) + "\n")
+        else:
+            self._records.append(record)
+
+    def records(self) -> list[dict]:
+        """In-memory records (empty when writing to a file)."""
+        return list(self._records or [])
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _jsonable(value):
+    """Fallback serialiser: numpy scalars and anything else stringable."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace back into a list of records.
+
+    Lines that do not decode are skipped: a process killed mid-write
+    leaves a torn final line, and that must not make the rest of the
+    trace unreadable.
+    """
+    records = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records

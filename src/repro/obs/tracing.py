@@ -1,0 +1,116 @@
+"""Hierarchical timing spans.
+
+A span measures one timed operation (an LP solve, an allocation request,
+a whole simulation run).  Spans nest: entering a span while another is
+open records the parent, so the exported trace carries the full path
+(``proxysim.run/allocation.request/lp.solve``) and the report can show
+self-time-style breakdowns.
+
+Use as a context manager::
+
+    with tracer.span("lp.solve", backend="scipy") as sp:
+        ...
+        sp.set(iterations=12)
+
+or as a decorator::
+
+    @traced("flow.coefficients")
+    def transitive_coefficients(...): ...
+
+The module only measures; recording is delegated to the ``on_close``
+callback the owning :class:`~repro.obs.Observer` installs.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from collections.abc import Callable
+
+__all__ = ["Span", "Tracer", "traced"]
+
+
+class Span:
+    """One timed operation; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "name", "attrs", "path", "start", "duration")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.path = name  # finalised on __enter__ from the active stack
+        self.start = 0.0
+        self.duration = 0.0
+
+    def set(self, **attrs) -> Span:
+        """Attach attributes after creation (e.g. results known at the end)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> Span:
+        stack = self.tracer._stack()
+        if stack:
+            self.path = f"{stack[-1].path}/{self.name}"
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        stack = self.tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._on_close(self)
+        return False
+
+
+class Tracer:
+    """Span factory holding the per-thread active-span stack."""
+
+    def __init__(self, on_close: Callable[[Span], None]):
+        self._on_close = on_close
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    @property
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack())
+
+
+def traced(name: str | None = None, **attrs):
+    """Decorator: run the wrapped function inside an observer span.
+
+    The observer is looked up per call, so enabling/disabling
+    observability at runtime affects already-decorated functions.
+    """
+
+    def decorate(fn):
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            from . import get_observer
+
+            with get_observer().span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -21,6 +21,7 @@ import numpy as np
 from ..agreements.matrix import AgreementSystem
 from ..des.engine import Engine
 from ..des.queues import QueuedItem, WorkQueue
+from ..obs import get_observer
 from ..workload.generator import Request, generate_streams
 from .config import SimulationConfig
 from .metrics import SimulationResult
@@ -205,16 +206,39 @@ class ProxySimulation:
 
     def run(self) -> SimulationResult:
         """Execute the simulation and return its statistics."""
-        engine = Engine()
-        engine.schedule(self.config.epoch, lambda: self._epoch_tick(engine))
-        engine.run(until=self.config.horizon)
-        # Flush: push any remaining arrivals, then serve everything.
-        for p in range(self.config.n_proxies):
-            self._push_arrivals(p, float("inf"))
-            self.queues[p].drain(self._on_served)
-        self.result.lp_solves = (
-            self._lp_solves_retired + getattr(self.policy, "lp_solves", 0)
-        )
+        obs = get_observer()
+        cfg = self.config
+        with obs.span(
+            "proxysim.run", scheme=cfg.scheme, n_proxies=cfg.n_proxies,
+            horizon=cfg.horizon,
+        ):
+            engine = Engine()
+            engine.schedule(cfg.epoch, lambda: self._epoch_tick(engine))
+            engine.run(until=cfg.horizon)
+            # Flush: push any remaining arrivals, then serve everything.
+            for p in range(cfg.n_proxies):
+                self._push_arrivals(p, float("inf"))
+                self.queues[p].drain(self._on_served)
+            self.result.lp_solves = (
+                self._lp_solves_retired + getattr(self.policy, "lp_solves", 0)
+            )
+        if obs.enabled:
+            # Bridge the simulation's own accounting onto the shared
+            # registry so traces carry the case-study counters too.
+            res = self.result
+            obs.counter("proxysim.requests", res.total_requests, scheme=cfg.scheme)
+            obs.counter("proxysim.redirected", res.total_redirected, scheme=cfg.scheme)
+            obs.counter(
+                "proxysim.scheduler_consults", res.scheduler_consults,
+                scheme=cfg.scheme,
+            )
+            obs.counter("proxysim.lp_solves", res.lp_solves, scheme=cfg.scheme)
+            obs.gauge("proxysim.mean_wait", res.overall_mean_wait(), scheme=cfg.scheme)
+            obs.gauge(
+                "proxysim.redirect_fraction", res.redirect_fraction(),
+                scheme=cfg.scheme,
+            )
+            obs.event("proxysim.done", **res.summary())
         return self.result
 
 

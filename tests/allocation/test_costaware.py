@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.agreements import AgreementSystem, complete_structure
+from repro.agreements import complete_structure
 from repro.allocation import allocate_lp
 from repro.allocation.costaware import allocate_cost_aware
 from repro.errors import InfeasibleAllocationError, InsufficientResourcesError

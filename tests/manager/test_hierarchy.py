@@ -6,7 +6,6 @@ from repro.economy import Bank
 from repro.errors import ManagerError
 from repro.manager import AllocationGrant, AllocationRequestMsg
 from repro.manager.hierarchy import build_hierarchical_grm
-from repro.units import ResourceVector
 
 
 @pytest.fixture

@@ -1,0 +1,27 @@
+"""Fixtures for observability tests.
+
+The observer is process-global; every test that enables it must restore
+the null observer afterwards so the rest of the suite (and its
+no-overhead guarantees) is unaffected.
+"""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture
+def observer():
+    """A live in-memory observer, reset to null after the test."""
+    ob = obs.enable()
+    yield ob
+    obs.disable()
+
+
+@pytest.fixture
+def traced_observer(tmp_path):
+    """A live observer streaming to a JSONL file; yields (observer, path)."""
+    path = tmp_path / "trace.jsonl"
+    ob = obs.enable(trace_path=path)
+    yield ob, path
+    obs.disable()

@@ -1,0 +1,147 @@
+"""Span nesting, timing, and the observer lifecycle."""
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import ReproError
+from repro.obs.tracing import traced
+
+
+class TestSpanNesting:
+    def test_nested_paths(self, observer):
+        with observer.span("outer"):
+            with observer.span("inner") as inner:
+                assert inner.path == "outer/inner"
+                with observer.span("leaf") as leaf:
+                    assert leaf.path == "outer/inner/leaf"
+
+    def test_stack_unwinds(self, observer):
+        with observer.span("a"):
+            assert observer.tracer.depth == 1
+        assert observer.tracer.depth == 0
+        assert observer.tracer.current is None
+
+    def test_duration_measured(self, observer):
+        with observer.span("timed") as sp:
+            pass
+        assert sp.duration >= 0.0
+        h = observer.registry.get_histogram("span.timed")
+        assert h is not None and h.count == 1
+
+    def test_exception_tagged_and_stack_unwound(self, observer):
+        with pytest.raises(ValueError):
+            with observer.span("boom") as sp:
+                raise ValueError("x")
+        assert sp.attrs["error"] == "ValueError"
+        assert observer.tracer.depth == 0
+
+    def test_set_attaches_attributes(self, observer):
+        with observer.span("s", a=1) as sp:
+            sp.set(b=2)
+        assert sp.attrs == {"a": 1, "b": 2}
+
+
+class TestTracedDecorator:
+    def test_decorator_records_span(self, observer):
+        @traced("decorated.fn")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        h = observer.registry.get_histogram("span.decorated.fn")
+        assert h is not None and h.count == 1
+
+    def test_decorator_is_noop_when_disabled(self):
+        @traced("decorated.off")
+        def work():
+            return "ok"
+
+        assert work() == "ok"  # null observer: no error, nothing recorded
+
+
+class TestGlobalLifecycle:
+    def test_enable_disable_swaps_observer(self):
+        assert not obs.get_observer().enabled
+        ob = obs.enable()
+        try:
+            assert obs.get_observer() is ob
+            assert ob.enabled
+        finally:
+            obs.disable()
+        assert not obs.get_observer().enabled
+
+    def test_report_when_disabled(self):
+        assert "disabled" in obs.report()
+
+    def test_report_when_enabled(self):
+        obs.enable().counter("x")
+        try:
+            assert "x" in obs.report()
+        finally:
+            obs.disable()
+
+
+class TestInstrumentedStack:
+    """Spot-checks that real call sites hit the registry when enabled."""
+
+    def test_lp_solve_records_span_and_counter(self, observer):
+        from repro.lp import LinearProgram
+
+        lp = LinearProgram("t")
+        x = lp.variable("x", lower=0.0, upper=4.0)
+        lp.add_constraint(x <= 3.0)
+        lp.minimize(x * -1.0)
+        for backend in ("scipy", "simplex"):
+            lp.solve(backend=backend)
+            assert observer.registry.counter_value("lp.solves", backend=backend) == 1
+        assert observer.registry.get_histogram("span.lp.solve").count == 2
+
+    def test_allocation_records_theta(self, observer):
+        from repro.agreements import complete_structure
+        from repro.allocation import allocate_lp
+
+        system = complete_structure(4, share=0.2)
+        allocate_lp(system, system.principals[0], 1.0)
+        assert observer.registry.counter_value(
+            "allocation.requests", scheme="lp") == 1
+        assert observer.registry.get_histogram("allocation.theta").count == 1
+
+    def test_transport_per_endpoint_counters(self, observer):
+        from repro.manager.messages import Message
+        from repro.manager.transport import InProcessTransport
+
+        t = InProcessTransport()
+        t.register("a")
+        t.send("a", Message(sender="x"))
+        t.send("a", Message(sender="x"))
+        assert t.receive("a") is not None
+        assert t.sent_by_endpoint["a"] == 2
+        assert t.received_by_endpoint["a"] == 1
+        assert observer.registry.counter_value(
+            "transport.sent", endpoint="a", type="Message") == 2
+        assert observer.registry.counter_value(
+            "transport.received", endpoint="a") == 1
+
+    def test_unknown_endpoint_lists_known(self):
+        from repro.manager.messages import Message
+        from repro.manager.transport import InProcessTransport
+
+        t = InProcessTransport()
+        t.register("grm")
+        t.register("isp0")
+        with pytest.raises(ReproError, match=r"grm.*isp0|known endpoints"):
+            t.send("ghost", Message(sender="x"))
+        with pytest.raises(ReproError, match="<none registered>"):
+            InProcessTransport().send("ghost", Message(sender="x"))
+
+    def test_engine_counters_reach_registry(self, observer):
+        from repro.des import Engine
+
+        eng = Engine()
+        keep = eng.schedule_at(1.0, lambda: None)
+        drop = eng.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        eng.run()
+        assert keep.time == 1.0
+        assert observer.registry.counter_value("des.events_fired") == 1
+        assert observer.registry.counter_value("des.events_cancelled") == 1

@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.agreements import AgreementSystem, suggest_shares
-from repro.economy import Bank
 from repro.economy.serialize import bank_from_dict, bank_to_dict
 from repro.manager import (
     AllocationGrant,
