@@ -1,0 +1,84 @@
+"""Throughput of the GRM message path (allocations/sec).
+
+Drives :class:`~repro.proxysim.manager_bridge.ManagerPolicy` — the full
+message pipeline (AvailabilityBatch + AllocationRequestMsg over the
+in-process transport, bank-backed topology, LP solve) — on the 10-proxy
+complete structure and records allocations/sec to
+``benchmarks/BENCH_manager_path.json``.
+
+The JSON file is a trajectory: each full run appends an entry, so the
+topology-cache win (and any future regression) stays visible next to the
+pre-refactor baseline entry.  The run must clear ``MIN_SPEEDUP``x the
+baseline's allocations/sec.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SMOKE=1`` — tiny iteration count, no JSON append, no
+  throughput assertion.  CI uses this to guard import/runtime breakage
+  of the benchmark path without depending on runner timing.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.agreements import complete_structure
+from repro.proxysim.manager_bridge import ManagerPolicy
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_manager_path.json")
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+N_WARMUP = 1 if SMOKE else 20
+N_PLANS = 5 if SMOKE else 300
+MIN_SPEEDUP = 2.0
+
+
+def _drive(policy, n, seed):
+    """Run ``n`` consultations with pseudo-random availability/amounts."""
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        avail = rng.uniform(0.0, 100.0, size=len(policy.principals))
+        req = int(rng.integers(0, len(policy.principals)))
+        avail[req] = 0.0
+        policy.plan(req, float(rng.uniform(1.0, 20.0)), avail)
+
+
+def test_manager_path_throughput():
+    system = complete_structure(10, share=0.1)
+    policy = ManagerPolicy(system)
+    _drive(policy, N_WARMUP, seed=42)
+
+    start = time.perf_counter()
+    _drive(policy, N_PLANS, seed=7)
+    seconds = time.perf_counter() - start
+    ops = N_PLANS / seconds
+
+    if SMOKE:
+        # Smoke mode guards that the whole message path still runs; the
+        # iteration count is too small for the timing to mean anything.
+        assert ops > 0
+        return
+
+    with open(BENCH_PATH) as fh:
+        record = json.load(fh)
+    baseline = next(e for e in record["entries"] if e.get("baseline"))
+
+    record["entries"].append(
+        {
+            "label": "run",
+            "detail": "bank.topology() version-keyed cache + AvailabilityBatch",
+            "allocations_per_sec": round(ops, 1),
+            "seconds": round(seconds, 3),
+            "plans": N_PLANS,
+        }
+    )
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+    floor = MIN_SPEEDUP * baseline["allocations_per_sec"]
+    assert ops >= floor, (
+        f"manager-path throughput regressed: {ops:.1f} allocations/sec "
+        f"< {MIN_SPEEDUP}x baseline ({baseline['allocations_per_sec']})"
+    )

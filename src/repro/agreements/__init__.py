@@ -1,8 +1,14 @@
 """Agreement matrices and the transitive flow computation (Section 3).
 
-- :class:`~repro.agreements.matrix.AgreementSystem` — principals, raw
-  capacities ``V``, relative matrix ``S`` and absolute matrix ``A`` with the
-  paper's validity constraints, plus cached flow/capacity queries;
+- :class:`~repro.agreements.topology.AgreementTopology` /
+  :class:`~repro.agreements.topology.CapacityView` — the core split: an
+  immutable, hashable structure (principals, ``S``, ``A``, overdraft
+  flag, flow method) owning the per-level coefficient cache, and cheap
+  capacity views over it, one per scheduling epoch;
+- :class:`~repro.agreements.matrix.AgreementSystem` — the compatibility
+  facade over the pair: principals, raw capacities ``V``, relative matrix
+  ``S`` and absolute matrix ``A`` with the paper's validity constraints,
+  plus cached flow/capacity queries;
 - :mod:`~repro.agreements.flow` — the flow coefficients ``T^(m)``
   (sums over acyclic agreement chains of at most ``m`` hops), flows
   ``I^(m) = V_i T^(m)_ij``, overdraft clamping ``K^(m)``, absolute-ticket
@@ -34,6 +40,7 @@ from .flow import (
 )
 from .matrix import AgreementSystem
 from .negotiate import suggest_shares
+from .topology import AgreementTopology, CapacityView
 from .structures import (
     complete_structure,
     distance_decay_structure,
@@ -44,6 +51,8 @@ from .structures import (
 
 __all__ = [
     "AgreementSystem",
+    "AgreementTopology",
+    "CapacityView",
     "StructureSummary",
     "reachable_set",
     "donor_set",

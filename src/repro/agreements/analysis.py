@@ -5,15 +5,26 @@ which principals can reach which resources (and through whom), how
 exposed is a donor to its beneficiaries, and how balanced is the
 structure overall.  Used by the examples and handy for debugging
 agreement graphs.
+
+Every function accepts either an
+:class:`~repro.agreements.matrix.AgreementSystem` or a
+:class:`~repro.agreements.topology.CapacityView` — both expose the same
+query surface, so analyses run equally against a static system or a live
+view minted from a bank's cached topology
+(:meth:`repro.economy.Bank.capacity_view`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 import numpy as np
 
 from .matrix import AgreementSystem
+from .topology import CapacityView
+
+Systemish = Union[AgreementSystem, CapacityView]
 
 __all__ = [
     "reachable_set",
@@ -29,7 +40,7 @@ _TOL = 1e-12
 
 
 def reachable_set(
-    system: AgreementSystem, principal: str, level: int | None = None
+    system: Systemish, principal: str, level: int | None = None
 ) -> dict[str, float]:
     """Donors whose resources ``principal`` can draw on, with amounts.
 
@@ -46,7 +57,7 @@ def reachable_set(
 
 
 def donor_set(
-    system: AgreementSystem, principal: str, level: int | None = None
+    system: Systemish, principal: str, level: int | None = None
 ) -> dict[str, float]:
     """Beneficiaries that can draw on ``principal``'s resources.
 
@@ -61,7 +72,7 @@ def donor_set(
     }
 
 
-def exposure(system: AgreementSystem, principal: str, level: int | None = None) -> float:
+def exposure(system: Systemish, principal: str, level: int | None = None) -> float:
     """Fraction of ``principal``'s raw capacity promised to others.
 
     1.0 means every unit it owns is (transitively) claimable by someone;
@@ -74,7 +85,7 @@ def exposure(system: AgreementSystem, principal: str, level: int | None = None) 
     return float(outgoing / system.V[a])
 
 
-def dependency(system: AgreementSystem, principal: str, level: int | None = None) -> float:
+def dependency(system: Systemish, principal: str, level: int | None = None) -> float:
     """Fraction of ``principal``'s effective capacity that is borrowed.
 
     0 means fully self-sufficient; close to 1 means nearly everything it
@@ -88,7 +99,7 @@ def dependency(system: AgreementSystem, principal: str, level: int | None = None
 
 
 def chain_contributions(
-    system: AgreementSystem, donor: str, beneficiary: str, max_level: int | None = None
+    system: Systemish, donor: str, beneficiary: str, max_level: int | None = None
 ) -> list[tuple[int, float]]:
     """Per-level breakdown of the flow coefficient from donor to beneficiary.
 
@@ -132,7 +143,7 @@ class StructureSummary:
         )
 
 
-def summarize(system: AgreementSystem, level: int | None = None) -> StructureSummary:
+def summarize(system: Systemish, level: int | None = None) -> StructureSummary:
     """Compute a :class:`StructureSummary` for a system."""
     n = system.n
     edges = int(np.count_nonzero(system.S))

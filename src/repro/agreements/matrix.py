@@ -1,4 +1,4 @@
-"""The :class:`AgreementSystem`: principals, capacities and agreement matrices.
+"""The :class:`AgreementSystem`: a facade over topology + capacity view.
 
 This is the enforcement layer's view of the world: a list of principals, a
 raw-capacity vector ``V``, the relative agreement matrix ``S`` and the
@@ -6,9 +6,20 @@ raw-capacity vector ``V``, the relative agreement matrix ``S`` and the
 of Section 3.1 (``S_ii = 0``, ``S_ij >= 0``, ``sum_k S_ik <= 1`` unless
 overdraft is allowed) and cached transitive-flow queries.
 
+Internally the state is split by rate of change (see
+:mod:`repro.agreements.topology`): an immutable
+:class:`~repro.agreements.topology.AgreementTopology` owns the structure
+``(principals, S, A)`` and the expensive per-level coefficient cache,
+while a lightweight :class:`~repro.agreements.topology.CapacityView`
+binds the raw capacities ``V``.  :class:`AgreementSystem` composes the
+two behind the original monolithic interface so existing call sites keep
+working; new code that already holds a topology should prefer views
+(:meth:`AgreementTopology.view`) directly.
+
 An :class:`AgreementSystem` is constructed directly from matrices, from a
 structure generator (:mod:`repro.agreements.structures`), or from a
-:class:`repro.economy.Bank` via :meth:`AgreementSystem.from_bank`.
+:class:`repro.economy.Bank` via :meth:`AgreementSystem.from_bank` (which
+reuses the bank's version-keyed topology cache).
 """
 
 from __future__ import annotations
@@ -17,12 +28,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from ..errors import InvalidAgreementMatrixError, OversharingError
-from . import flow as _flow
+from .topology import AgreementTopology, CapacityView
 
 __all__ = ["AgreementSystem"]
-
-_TOL = 1e-9
 
 
 class AgreementSystem:
@@ -57,61 +65,21 @@ class AgreementSystem:
         allow_overdraft: bool = False,
         flow_method: str = "dp",
     ):
-        self.principals = list(principals)
-        self.n = len(self.principals)
-        if len(set(self.principals)) != self.n:
-            raise InvalidAgreementMatrixError("principal names must be unique")
-        self._index = {p: i for i, p in enumerate(self.principals)}
-
-        self.V = np.asarray(V, dtype=float).copy()
-        self.S = np.asarray(S, dtype=float).copy()
-        self.A = None if A is None else np.asarray(A, dtype=float).copy()
-        self.allow_overdraft = bool(allow_overdraft)
-        self.flow_method = flow_method
-        self._validate()
-        self._t_cache: dict[int, np.ndarray] = {}
-
-    # -- validation ------------------------------------------------------------
-
-    def _validate(self) -> None:
-        n = self.n
-        if self.V.shape != (n,):
-            raise InvalidAgreementMatrixError(
-                f"V must have shape ({n},), got {self.V.shape}"
-            )
-        if np.any(self.V < -_TOL):
-            raise InvalidAgreementMatrixError("capacities V must be non-negative")
-        self.V = np.maximum(self.V, 0.0)
-        if self.S.shape != (n, n):
-            raise InvalidAgreementMatrixError(
-                f"S must have shape ({n}, {n}), got {self.S.shape}"
-            )
-        if np.any(np.abs(np.diag(self.S)) > _TOL):
-            raise InvalidAgreementMatrixError("S must have a zero diagonal (S_ii = 0)")
-        if np.any(self.S < -_TOL):
-            raise InvalidAgreementMatrixError("S entries must be non-negative")
-        self.S = np.maximum(self.S, 0.0)
-        np.fill_diagonal(self.S, 0.0)
-        row_sums = self.S.sum(axis=1)
-        if not self.allow_overdraft and np.any(row_sums > 1.0 + _TOL):
-            bad = [self.principals[i] for i in np.nonzero(row_sums > 1.0 + _TOL)[0]]
-            raise OversharingError(
-                f"principals {bad} share more than 100% of their resources; "
-                "pass allow_overdraft=True for Section-3.2 overdraft semantics"
-            )
-        if self.A is not None:
-            if self.A.shape != (n, n):
-                raise InvalidAgreementMatrixError(
-                    f"A must have shape ({n}, {n}), got {self.A.shape}"
-                )
-            if np.any(self.A < -_TOL):
-                raise InvalidAgreementMatrixError("A entries must be non-negative")
-            if np.any(np.abs(np.diag(self.A)) > _TOL):
-                raise InvalidAgreementMatrixError("A must have a zero diagonal")
-            self.A = np.maximum(self.A, 0.0)
-            np.fill_diagonal(self.A, 0.0)
+        topology = AgreementTopology(
+            principals, S, A, allow_overdraft=allow_overdraft, flow_method=flow_method
+        )
+        self._view = topology.view(V)
 
     # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_topology(
+        cls, topology: AgreementTopology, V: np.ndarray
+    ) -> "AgreementSystem":
+        """Wrap an existing topology (sharing its coefficient cache)."""
+        system = cls.__new__(cls)
+        system._view = topology.view(V)
+        return system
 
     @classmethod
     def from_bank(
@@ -122,75 +90,99 @@ class AgreementSystem:
         allow_overdraft: bool = False,
         flow_method: str = "dp",
     ) -> "AgreementSystem":
-        """Flatten a :class:`repro.economy.Bank` into an agreement system."""
-        principals, V, S, A = bank.to_agreement_system(resource_type)
-        return cls(
-            principals,
-            V,
-            S,
-            A if np.any(A) else None,
-            allow_overdraft=allow_overdraft,
-            flow_method=flow_method,
+        """Flatten a :class:`repro.economy.Bank` into an agreement system.
+
+        Goes through :meth:`repro.economy.Bank.topology`, so repeated
+        calls on an unchanged bank reuse one cached
+        :class:`~repro.agreements.topology.AgreementTopology` (and its
+        coefficient cache) instead of re-flattening.
+        """
+        view = bank.capacity_view(
+            resource_type, allow_overdraft=allow_overdraft, flow_method=flow_method
         )
+        return cls.from_topology(view.topology, view.V)
+
+    # -- split accessors ----------------------------------------------------------
+
+    @property
+    def topology(self) -> AgreementTopology:
+        """The immutable structure half (owns the coefficient cache)."""
+        return self._view.topology
+
+    @property
+    def view(self) -> CapacityView:
+        """The capacity half (``V`` bound to the topology)."""
+        return self._view
+
+    # -- structure passthrough -----------------------------------------------------
+
+    @property
+    def principals(self) -> list[str]:
+        return list(self._view.topology.principals)
+
+    @property
+    def n(self) -> int:
+        return self._view.topology.n
+
+    @property
+    def V(self) -> np.ndarray:
+        return self._view.V
+
+    @property
+    def S(self) -> np.ndarray:
+        return self._view.topology.S
+
+    @property
+    def A(self) -> np.ndarray | None:
+        return self._view.topology.A
+
+    @property
+    def allow_overdraft(self) -> bool:
+        return self._view.topology.allow_overdraft
+
+    @property
+    def flow_method(self) -> str:
+        return self._view.topology.flow_method
 
     # -- queries ------------------------------------------------------------------
 
     def index(self, principal: str) -> int:
-        try:
-            return self._index[principal]
-        except KeyError:
-            raise InvalidAgreementMatrixError(
-                f"unknown principal {principal!r}"
-            ) from None
+        return self._view.topology.index(principal)
 
     @property
     def max_level(self) -> int:
         """Chain length of the full transitive closure (n - 1)."""
-        return max(self.n - 1, 0)
+        return self._view.topology.max_level
 
     def coefficients(self, level: int | None = None) -> np.ndarray:
         """``T^(m)`` (or ``K^(m)`` under overdraft), cached per level."""
-        m = self.max_level if level is None else min(int(level), self.max_level)
-        if m not in self._t_cache:
-            T = _flow.transitive_coefficients(self.S, m, self.flow_method)
-            if self.allow_overdraft:
-                T = _flow.overdraft_clamp(T)
-            self._t_cache[m] = T
-        return self._t_cache[m]
+        return self._view.topology.coefficients(level)
 
     def flows(self, level: int | None = None) -> np.ndarray:
         """``I^(m)_ij`` — the amount of ``i``'s resources reachable by ``j``."""
-        return _flow.flow_matrix(self.V, self.coefficients(level))
+        return self._view.flows(level)
 
     def u(self, level: int | None = None) -> np.ndarray:
         """``U_ki`` — relative + absolute inflow clamped at donor capacity."""
-        return _flow.u_matrix(self.flows(level), self.A, self.V)
+        return self._view.u(level)
 
     def capacities(self, level: int | None = None) -> np.ndarray:
         """Effective capacities ``C_i`` at the given transitivity level."""
-        return _flow.capacities(self.V, self.u(level))
+        return self._view.capacities(level)
 
     def capacity_of(self, principal: str, level: int | None = None) -> float:
         """Effective capacity of one principal."""
-        return float(self.capacities(level)[self.index(principal)])
+        return self._view.capacity_of(principal, level)
 
     def with_capacities(self, V: np.ndarray) -> "AgreementSystem":
         """A copy of this system with different raw capacities.
 
-        ``T`` depends only on ``S``, so the coefficient cache is shared —
-        this is the cheap operation the proxy simulator performs every
-        scheduling epoch as availability fluctuates.
+        ``T`` depends only on ``S``, so the topology (and its coefficient
+        cache) is shared — this is the cheap operation the proxy
+        simulator performs every scheduling epoch as availability
+        fluctuates.
         """
-        clone = AgreementSystem(
-            self.principals,
-            V,
-            self.S,
-            self.A,
-            allow_overdraft=self.allow_overdraft,
-            flow_method=self.flow_method,
-        )
-        clone._t_cache = self._t_cache  # shared: same S
-        return clone
+        return AgreementSystem.from_topology(self._view.topology, V)
 
     def __repr__(self) -> str:
         return (

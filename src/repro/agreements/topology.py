@@ -1,0 +1,326 @@
+"""The versioned topology / capacity-view split of the agreement core.
+
+The enforcement pipeline separates two rates of change.  The agreement
+*structure* — who shares what fraction with whom — changes slowly (ticket
+issue/revoke), and owning it is expensive: the transitive coefficients
+``T^(m)`` behind every flow query cost an O(2^n * n^2) dynamic program.
+Raw *capacities* ``V`` change every scheduling epoch as availability
+fluctuates, but everything derived from them (``I``, ``U``, ``C``) is a
+few dense matrix operations.
+
+This module gives each rate its own type:
+
+- :class:`AgreementTopology` — immutable and hashable: principals, the
+  relative matrix ``S``, the optional absolute matrix ``A``, the
+  overdraft flag and flow method.  It owns the per-level ``T``/``K``
+  coefficient cache, so any number of views (and any number of epochs)
+  amortise one DP run.
+- :class:`CapacityView` — a capacity vector ``V`` bound to a topology,
+  answering the per-epoch queries (:meth:`~CapacityView.capacities`,
+  :meth:`~CapacityView.u`, :meth:`~CapacityView.flows`) with per-level
+  memoisation.  Views are cheap to mint (:meth:`AgreementTopology.view`)
+  and to rebind (:meth:`CapacityView.with_capacities`).
+
+:class:`~repro.agreements.matrix.AgreementSystem` remains as a thin
+facade over the pair, so call sites written against the original
+monolithic class keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import InvalidAgreementMatrixError, OversharingError
+from . import flow as _flow
+
+__all__ = ["AgreementTopology", "CapacityView"]
+
+_TOL = 1e-9
+
+
+def _clean_capacities(V, n: int) -> np.ndarray:
+    """Validate and freeze a raw-capacity vector."""
+    V = np.asarray(V, dtype=float).copy()
+    if V.shape != (n,):
+        raise InvalidAgreementMatrixError(f"V must have shape ({n},), got {V.shape}")
+    if np.any(V < -_TOL):
+        raise InvalidAgreementMatrixError("capacities V must be non-negative")
+    np.maximum(V, 0.0, out=V)
+    V.flags.writeable = False
+    return V
+
+
+class AgreementTopology:
+    """The slowly-changing half of an agreement system.
+
+    Parameters
+    ----------
+    principals:
+        Names, defining index order in all matrices.
+    S:
+        Relative agreement matrix; ``S[i, j]`` is the fraction of ``i``'s
+        resources shared with ``j``.  Validated against the Section-3.1
+        constraints (zero diagonal, non-negative, row sums <= 1 unless
+        overdraft is allowed).
+    A:
+        Optional absolute agreement matrix; ``A[i, j]`` is a constant
+        quantity granted by ``i`` to ``j``.
+    allow_overdraft:
+        Lift the row-sum <= 1 restriction (Section 3.2); coefficients are
+        then clamped with ``K``.
+    flow_method:
+        Algorithm for :func:`repro.agreements.flow.transitive_coefficients`.
+
+    Instances are immutable (matrices are stored read-only) and hashable
+    on their full structural content, which is what lets callers key
+    caches on a topology — e.g. :meth:`repro.economy.Bank.topology`
+    keyed on the bank version.
+    """
+
+    __slots__ = (
+        "principals",
+        "n",
+        "S",
+        "A",
+        "allow_overdraft",
+        "flow_method",
+        "_index",
+        "_t_cache",
+        "_hash",
+    )
+
+    def __init__(
+        self,
+        principals: Sequence[str],
+        S: np.ndarray,
+        A: np.ndarray | None = None,
+        *,
+        allow_overdraft: bool = False,
+        flow_method: str = "dp",
+    ):
+        self.principals = tuple(principals)
+        self.n = len(self.principals)
+        if len(set(self.principals)) != self.n:
+            raise InvalidAgreementMatrixError("principal names must be unique")
+        self._index = {p: i for i, p in enumerate(self.principals)}
+        self.allow_overdraft = bool(allow_overdraft)
+        self.flow_method = str(flow_method)
+        self.S = self._clean_relative(np.asarray(S, dtype=float).copy())
+        self.A = self._clean_absolute(
+            None if A is None else np.asarray(A, dtype=float).copy()
+        )
+        self._t_cache: dict[int, np.ndarray] = {}
+        self._hash: int | None = None
+
+    # -- validation ----------------------------------------------------------
+
+    def _clean_relative(self, S: np.ndarray) -> np.ndarray:
+        n = self.n
+        if S.shape != (n, n):
+            raise InvalidAgreementMatrixError(
+                f"S must have shape ({n}, {n}), got {S.shape}"
+            )
+        if np.any(np.abs(np.diag(S)) > _TOL):
+            raise InvalidAgreementMatrixError("S must have a zero diagonal (S_ii = 0)")
+        if np.any(S < -_TOL):
+            raise InvalidAgreementMatrixError("S entries must be non-negative")
+        np.maximum(S, 0.0, out=S)
+        np.fill_diagonal(S, 0.0)
+        row_sums = S.sum(axis=1)
+        if not self.allow_overdraft and np.any(row_sums > 1.0 + _TOL):
+            bad = [self.principals[i] for i in np.nonzero(row_sums > 1.0 + _TOL)[0]]
+            raise OversharingError(
+                f"principals {bad} share more than 100% of their resources; "
+                "pass allow_overdraft=True for Section-3.2 overdraft semantics"
+            )
+        S.flags.writeable = False
+        return S
+
+    def _clean_absolute(self, A: np.ndarray | None) -> np.ndarray | None:
+        if A is None:
+            return None
+        n = self.n
+        if A.shape != (n, n):
+            raise InvalidAgreementMatrixError(
+                f"A must have shape ({n}, {n}), got {A.shape}"
+            )
+        if np.any(A < -_TOL):
+            raise InvalidAgreementMatrixError("A entries must be non-negative")
+        if np.any(np.abs(np.diag(A)) > _TOL):
+            raise InvalidAgreementMatrixError("A must have a zero diagonal")
+        np.maximum(A, 0.0, out=A)
+        np.fill_diagonal(A, 0.0)
+        A.flags.writeable = False
+        return A
+
+    # -- identity ------------------------------------------------------------
+
+    def _key(self) -> tuple:
+        return (
+            self.principals,
+            self.S.tobytes(),
+            None if self.A is None else self.A.tobytes(),
+            self.allow_overdraft,
+            self.flow_method,
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._key())
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, AgreementTopology):
+            return NotImplemented
+        return self._key() == other._key()
+
+    # -- queries ---------------------------------------------------------------
+
+    def index(self, principal: str) -> int:
+        try:
+            return self._index[principal]
+        except KeyError:
+            raise InvalidAgreementMatrixError(
+                f"unknown principal {principal!r}"
+            ) from None
+
+    @property
+    def max_level(self) -> int:
+        """Chain length of the full transitive closure (n - 1)."""
+        return max(self.n - 1, 0)
+
+    def _level(self, level: int | None) -> int:
+        return self.max_level if level is None else min(int(level), self.max_level)
+
+    def coefficients(self, level: int | None = None) -> np.ndarray:
+        """``T^(m)`` (or ``K^(m)`` under overdraft), cached per level."""
+        m = self._level(level)
+        T = self._t_cache.get(m)
+        if T is None:
+            T = _flow.transitive_coefficients(self.S, m, self.flow_method)
+            if self.allow_overdraft:
+                T = _flow.overdraft_clamp(T)
+            T.flags.writeable = False
+            self._t_cache[m] = T
+        return T
+
+    # -- capacity-dependent queries -------------------------------------------
+    #
+    # Everything below takes V explicitly: the topology knows how to
+    # evaluate flows for *any* capacity vector without being cloned.
+
+    def flows(self, V: np.ndarray, level: int | None = None) -> np.ndarray:
+        """``I^(m)_ij`` — the amount of ``i``'s resources reachable by ``j``."""
+        return _flow.flow_matrix(V, self.coefficients(level))
+
+    def u(self, V: np.ndarray, level: int | None = None) -> np.ndarray:
+        """``U_ki`` — relative + absolute inflow clamped at donor capacity."""
+        return _flow.u_matrix(self.flows(V, level), self.A, V)
+
+    def capacities(self, V: np.ndarray, level: int | None = None) -> np.ndarray:
+        """Effective capacities ``C_i`` for capacity vector ``V``."""
+        return _flow.capacities(V, self.u(V, level))
+
+    def view(self, V: np.ndarray) -> "CapacityView":
+        """Bind a raw-capacity vector to this topology."""
+        return CapacityView(self, V)
+
+    def __repr__(self) -> str:
+        return (
+            f"AgreementTopology(n={self.n}, "
+            f"edges={int(np.count_nonzero(self.S))}, "
+            f"overdraft={self.allow_overdraft}, method={self.flow_method!r})"
+        )
+
+
+class CapacityView:
+    """The fast-changing half: a capacity vector over a topology.
+
+    A view answers the same flow/capacity queries as the old monolithic
+    ``AgreementSystem`` but owns no structure of its own — ``T`` lookups
+    hit the topology's shared cache, and the per-level ``(U, C)`` pairs
+    computed for *this* ``V`` are memoised so an allocator's sequence of
+    ``u() / capacities() / coefficients()`` calls does the dense algebra
+    once.
+    """
+
+    __slots__ = ("topology", "V", "_uc_cache")
+
+    def __init__(self, topology: AgreementTopology, V: np.ndarray):
+        self.topology = topology
+        self.V = _clean_capacities(V, topology.n)
+        self._uc_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # -- structure passthrough -------------------------------------------------
+
+    @property
+    def principals(self) -> list[str]:
+        return list(self.topology.principals)
+
+    @property
+    def n(self) -> int:
+        return self.topology.n
+
+    @property
+    def S(self) -> np.ndarray:
+        return self.topology.S
+
+    @property
+    def A(self) -> np.ndarray | None:
+        return self.topology.A
+
+    @property
+    def allow_overdraft(self) -> bool:
+        return self.topology.allow_overdraft
+
+    @property
+    def flow_method(self) -> str:
+        return self.topology.flow_method
+
+    @property
+    def max_level(self) -> int:
+        return self.topology.max_level
+
+    def index(self, principal: str) -> int:
+        return self.topology.index(principal)
+
+    def coefficients(self, level: int | None = None) -> np.ndarray:
+        return self.topology.coefficients(level)
+
+    # -- capacity queries ------------------------------------------------------
+
+    def _uc(self, level: int | None) -> tuple[np.ndarray, np.ndarray]:
+        m = self.topology._level(level)
+        pair = self._uc_cache.get(m)
+        if pair is None:
+            U = self.topology.u(self.V, m)
+            C = _flow.capacities(self.V, U)
+            pair = self._uc_cache[m] = (U, C)
+        return pair
+
+    def flows(self, level: int | None = None) -> np.ndarray:
+        return self.topology.flows(self.V, level)
+
+    def u(self, level: int | None = None) -> np.ndarray:
+        return self._uc(level)[0]
+
+    def capacities(self, level: int | None = None) -> np.ndarray:
+        return self._uc(level)[1]
+
+    def capacity_of(self, principal: str, level: int | None = None) -> float:
+        return float(self.capacities(level)[self.index(principal)])
+
+    def with_capacities(self, V: np.ndarray) -> "CapacityView":
+        """A view of the same topology at different raw capacities."""
+        return CapacityView(self.topology, V)
+
+    def __repr__(self) -> str:
+        return (
+            f"CapacityView(n={self.n}, total_capacity={self.V.sum():g}, "
+            f"edges={int(np.count_nonzero(self.S))}, "
+            f"overdraft={self.allow_overdraft})"
+        )

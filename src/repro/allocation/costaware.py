@@ -113,8 +113,7 @@ def allocate_cost_aware(
 
 def _result(system, request, take, cost, level) -> Allocation:
     new_V = np.maximum(system.V - take, 0.0)
-    new_sys = system.with_capacities(new_V)
-    new_C = new_sys.capacities(level)
+    new_C = system.topology.capacities(new_V, level)
     a = system.index(request.principal)
     drops = np.delete(system.capacities(level) - new_C, a)
     allocation = Allocation(

@@ -70,8 +70,7 @@ def allocate_endpoint(
         raise InsufficientResourcesError(principal, amount, satisfied)
 
     new_V = np.maximum(V - take, 0.0)
-    new_sys = system.with_capacities(new_V)
-    new_C = new_sys.capacities(1)
+    new_C = system.topology.capacities(new_V, 1)
     old_C = system.capacities(1)
     drops = np.delete(old_C - new_C, a)
     return Allocation(

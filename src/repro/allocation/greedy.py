@@ -58,9 +58,8 @@ def allocate_greedy(
 
     satisfied = x - max(remaining, 0.0)
     new_V = np.maximum(V - take, 0.0)
-    new_sys = system.with_capacities(new_V)
-    new_C = new_sys.capacities(level)
-    drops = np.delete(system.capacities(level) - new_C, a)
+    new_C = system.topology.capacities(new_V, level)
+    drops = np.delete(C - new_C, a)
     return Allocation(
         request=request,
         take=take,

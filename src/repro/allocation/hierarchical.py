@@ -227,8 +227,7 @@ def _spread_within(sub: AgreementSystem, contribution: float) -> np.ndarray:
 
 def _finish(system, request, take, satisfied, level) -> Allocation:
     new_V = np.maximum(system.V - take, 0.0)
-    new_sys = system.with_capacities(new_V)
-    new_C = new_sys.capacities(level)
+    new_C = system.topology.capacities(new_V, level)
     a = system.index(request.principal)
     drops = np.delete(system.capacities(level) - new_C, a)
     return Allocation(

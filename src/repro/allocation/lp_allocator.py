@@ -76,7 +76,9 @@ def allocate_lp(
     Parameters
     ----------
     system:
-        An :class:`~repro.agreements.AgreementSystem`.
+        An :class:`~repro.agreements.AgreementSystem` or a
+        :class:`~repro.agreements.topology.CapacityView` (the GRM's hot
+        path passes views bound to its cached topology).
     principal, amount:
         The requester ``A`` and request size ``x``.
     level:
@@ -291,14 +293,13 @@ def _solve_faithful(n, a, x, V, U, T, C, objective, backend):
 
 def _make_result(system, request, take, theta, satisfied, level) -> Allocation:
     new_V = np.maximum(system.V - take, 0.0)
-    new_sys = system.with_capacities(new_V)
     return Allocation(
         request=request,
         take=take,
         theta=theta,
         satisfied=float(satisfied),
         new_V=new_V,
-        new_C=new_sys.capacities(level),
+        new_C=system.topology.capacities(new_V, level),
         scheme="lp",
         principals=list(system.principals),
     )

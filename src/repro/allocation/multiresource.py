@@ -50,12 +50,14 @@ def allocate_multi(
     Parameters
     ----------
     systems:
-        Maps resource-type name to the :class:`~repro.agreements.AgreementSystem`
-        governing that type (built e.g. with
-        ``AgreementSystem.from_bank(bank, rtype)`` per type).  A coupled
-        resource must have its *own* entry: the caller registers the bundle
-        as a first-class resource type, which is precisely the paper's
-        "bind these types into a new type" prescription.
+        Maps resource-type name to the system-like object governing that
+        type — an :class:`~repro.agreements.AgreementSystem` or a
+        :class:`~repro.agreements.topology.CapacityView` (built e.g. with
+        ``bank.capacity_view(rtype)`` per type, which reuses the bank's
+        version-keyed topology cache).  A coupled resource must have its
+        *own* entry: the caller registers the bundle as a first-class
+        resource type, which is precisely the paper's "bind these types
+        into a new type" prescription.
     request:
         The vector request.
 

@@ -159,14 +159,13 @@ def allocate_views(
         system = viewset.systems[v]
         take = np.array([max(res[f"d_{v}_{k}"], 0.0) for k in range(n)])
         new_V = np.maximum(system.V - take, 0.0)
-        new_sys = system.with_capacities(new_V)
         out[v] = Allocation(
             request=AllocationRequest(principal, float(amounts[v]), level),
             take=take,
             theta=float(res.objective),
             satisfied=float(take.sum()),
             new_V=new_V,
-            new_C=new_sys.capacities(level),
+            new_C=system.topology.capacities(new_V, level),
             scheme=f"views:{v}",
             principals=list(system.principals),
         )

@@ -29,6 +29,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from ..agreements.topology import AgreementTopology
 from ..errors import (
     CurrencyCycleError,
     DuplicateNameError,
@@ -37,6 +38,7 @@ from ..errors import (
     UnknownCurrencyError,
     UnknownTicketError,
 )
+from ..obs import get_observer
 from ..units import ResourceVector
 from .currency import DEFAULT_FACE_VALUE, Currency
 from .ticket import Ticket, TicketKind
@@ -64,6 +66,25 @@ class Bank:
     def __init__(self) -> None:
         self._currencies: dict[str, Currency] = {}
         self._tickets: dict[int, Ticket] = {}
+        self._version = 0
+        # flattened topology per (resource_type, overdraft, flow_method),
+        # valid for one bank version: key -> (version, topology, V)
+        self._topology_cache: dict[tuple, tuple[int, AgreementTopology, np.ndarray]] = {}
+
+    # -- versioning ----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter, bumped by every currency/ticket mutation.
+
+        Consumers key caches on it: equal versions guarantee an unchanged
+        agreement structure, so flattened topologies (and their transitive
+        coefficient caches) can be reused across scheduling epochs.
+        """
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # -- registry ------------------------------------------------------------
 
@@ -83,6 +104,7 @@ class Bank:
             raise EconomyError(f"virtual currency {name!r} must declare an owner")
         cur = Currency(name=name, face_value=face_value, owner=owner, virtual=virtual)
         self._currencies[name] = cur
+        self._bump_version()
         return cur
 
     def currency(self, name: str) -> Currency:
@@ -116,6 +138,7 @@ class Bank:
         self.currency(ticket.backing).backing_tickets.append(ticket.ticket_id)
         if ticket.issuer is not None:
             self.currency(ticket.issuer).issued_tickets.append(ticket.ticket_id)
+        self._bump_version()
         return ticket
 
     def deposit_capacity(
@@ -192,10 +215,12 @@ class Bank:
         if t.revoked:
             raise TicketRevokedError(f"ticket {ticket_id} is already revoked")
         t.revoked = True
+        self._bump_version()
 
     def inflate_currency(self, name: str, factor: float) -> None:
         """Inflate/deflate a currency (Section 2.2's "printing paper money")."""
         self.currency(name).inflate(factor)
+        self._bump_version()
 
     # -- valuation -------------------------------------------------------------
 
@@ -384,3 +409,75 @@ class Bank:
                     if owner in pindex and owner != t.backing:
                         A[pindex[owner], j] += c[n]
         return principals, V, S, A
+
+    def _flattened(
+        self, resource_type: str, allow_overdraft: bool, flow_method: str
+    ) -> tuple[int, AgreementTopology, np.ndarray]:
+        """The version-keyed cache entry behind :meth:`topology`.
+
+        Rebuilds (re-flattening the funding graph and discarding the old
+        coefficient cache) only when the bank has been mutated since the
+        entry was made; every other call is a dictionary hit.  Counters:
+        ``topology.cache_hit`` / ``topology.cache_miss`` / ``topology.rebuilds``.
+        """
+        key = (resource_type, bool(allow_overdraft), flow_method)
+        obs = get_observer()
+        entry = self._topology_cache.get(key)
+        if entry is not None and entry[0] == self._version:
+            if obs.enabled:
+                obs.counter("topology.cache_hit", resource_type=resource_type)
+            return entry
+        obs.counter("topology.cache_miss", resource_type=resource_type)
+        with obs.span(
+            "topology.rebuild", resource_type=resource_type, version=self._version
+        ):
+            principals, V, S, A = self.to_agreement_system(resource_type)
+            topology = AgreementTopology(
+                principals,
+                S,
+                A if np.any(A) else None,
+                allow_overdraft=allow_overdraft,
+                flow_method=flow_method,
+            )
+        obs.counter("topology.rebuilds", resource_type=resource_type)
+        V = np.asarray(V, dtype=float)
+        V.flags.writeable = False
+        entry = (self._version, topology, V)
+        self._topology_cache[key] = entry
+        return entry
+
+    def topology(
+        self,
+        resource_type: str = "general",
+        *,
+        allow_overdraft: bool = False,
+        flow_method: str = "dp",
+    ) -> AgreementTopology:
+        """The flattened agreement topology, cached on ``(version, key)``.
+
+        The returned :class:`~repro.agreements.topology.AgreementTopology`
+        is shared between callers until the next bank mutation, so its
+        per-level coefficient cache amortises across every allocation in
+        an epoch — the hot-path win the GRM relies on.  Any mutation
+        (create/issue/revoke/deposit/inflate) bumps :attr:`version` and
+        forces a rebuild on next access, which is what makes a ticket
+        revocation take effect on the very next scheduling decision.
+        """
+        return self._flattened(resource_type, allow_overdraft, flow_method)[1]
+
+    def base_capacities(self, resource_type: str = "general") -> np.ndarray:
+        """Raw owned capacities ``V`` (base deposits), cache-aligned with
+        :meth:`topology` and in the same principal order."""
+        return self._flattened(resource_type, False, "dp")[2]
+
+    def capacity_view(
+        self,
+        resource_type: str = "general",
+        *,
+        allow_overdraft: bool = False,
+        flow_method: str = "dp",
+    ):
+        """A :class:`~repro.agreements.topology.CapacityView` of the bank's
+        deposited capacities over the cached topology."""
+        _, topology, V = self._flattened(resource_type, allow_overdraft, flow_method)
+        return topology.view(V)

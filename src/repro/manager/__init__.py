@@ -30,6 +30,7 @@ from .lrm import LocalResourceManager
 from .messages import (
     AllocationGrant,
     AllocationRequestMsg,
+    AvailabilityBatch,
     AvailabilityReport,
     Message,
     ReleaseMsg,
@@ -44,6 +45,7 @@ __all__ = [
     "InProcessTransport",
     "Message",
     "AvailabilityReport",
+    "AvailabilityBatch",
     "AllocationRequestMsg",
     "AllocationGrant",
     "ReleaseMsg",

@@ -6,13 +6,22 @@ every LRM, and answers allocation requests by solving the Section-3 LP
 over the agreement system evaluated at current availability.  It can
 delegate a subset of principals to a child GRM ("the architecture also
 permits splitting of the GRMs into multiple levels").
+
+Hot path: allocation reuses the bank's version-keyed topology cache
+(:meth:`repro.economy.Bank.topology`), so the O(2^n * n^2) coefficient
+DP and the funding-graph flattening run once per *agreement change*
+rather than once per request; each request only binds the current
+availability vector to the cached topology as a
+:class:`~repro.agreements.topology.CapacityView`.  Availability itself
+is kept in per-resource-type vectors indexed through a prebuilt
+name -> index map, so reports, grants and releases are O(1) updates and
+:meth:`availability_vector` is a copy, not a rebuild.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..agreements.matrix import AgreementSystem
 from ..allocation.lp_allocator import allocate_lp
 from ..economy.bank import Bank
 from ..errors import (
@@ -26,6 +35,7 @@ from .messages import (
     AllocationDenied,
     AllocationGrant,
     AllocationRequestMsg,
+    AvailabilityBatch,
     AvailabilityReport,
     Message,
     ReleaseMsg,
@@ -50,8 +60,11 @@ class GlobalResourceManager:
         self.name = name
         self.bank = bank
         self.transport = None
-        # latest availability per (principal, resource_type)
-        self._availability: dict[tuple[str, str], float] = {}
+        # availability vectors per resource type, indexed by principal
+        self._avail: dict[str, np.ndarray] = {}
+        self._principals: list[str] = []
+        self._pindex: dict[str, int] = {}
+        self._pindex_version = -1  # bank version the index was built at
         # open grants: grant msg_id -> (resource_type, takes)
         self._grants: dict[int, tuple[str, tuple[tuple[str, float], ...]]] = {}
         # child GRMs: principal -> child endpoint name
@@ -72,22 +85,69 @@ class GlobalResourceManager:
 
     # -- availability ---------------------------------------------------------------
 
+    def _sync_principals(self) -> None:
+        """Refresh the name -> index map after a bank mutation.
+
+        Availability values survive re-indexing by name, so registering a
+        new principal (or any other agreement change) never drops the
+        reports already received.
+        """
+        if self._pindex_version == self.bank.version:
+            return
+        principals = self.bank.principals()
+        if principals != self._principals:
+            old_index = self._pindex
+            self._pindex = {p: i for i, p in enumerate(principals)}
+            for rtype, old in self._avail.items():
+                fresh = np.zeros(len(principals))
+                for p, i in old_index.items():
+                    j = self._pindex.get(p)
+                    if j is not None:
+                        fresh[j] = old[i]
+                self._avail[rtype] = fresh
+            self._principals = principals
+        self._pindex_version = self.bank.version
+
+    def _avail_vector(self, resource_type: str) -> np.ndarray:
+        self._sync_principals()
+        vec = self._avail.get(resource_type)
+        if vec is None or vec.shape[0] != len(self._principals):
+            vec = self._avail[resource_type] = np.zeros(len(self._principals))
+        return vec
+
+    def set_availability(
+        self, principal: str, available: float, resource_type: str = "general"
+    ) -> None:
+        """Record the latest availability report for one principal."""
+        vec = self._avail_vector(resource_type)
+        try:
+            vec[self._pindex[principal]] = available
+        except KeyError:
+            raise UnknownPrincipalError(principal) from None
+
     def availability(self, principal: str, resource_type: str = "general") -> float:
-        return self._availability.get((principal, resource_type), 0.0)
+        vec = self._avail_vector(resource_type)
+        idx = self._pindex.get(principal)
+        return float(vec[idx]) if idx is not None else 0.0
 
     def availability_vector(self, resource_type: str = "general") -> np.ndarray:
-        principals = self.bank.principals()
-        return np.array(
-            [self.availability(p, resource_type) for p in principals]
-        )
+        return self._avail_vector(resource_type).copy()
 
     # -- protocol --------------------------------------------------------------------
 
     def handle(self, message: Message) -> Message | None:
         if isinstance(message, AvailabilityReport):
-            self._availability[(message.sender, message.resource_type)] = (
-                message.available
+            self.set_availability(
+                message.sender, message.available, message.resource_type
             )
+            return None
+        if isinstance(message, AvailabilityBatch):
+            vec = self._avail_vector(message.resource_type)
+            for principal, available in message.reports:
+                try:
+                    vec[self._pindex[principal]] = available
+                except KeyError:
+                    raise UnknownPrincipalError(principal) from None
             return None
         if isinstance(message, AllocationRequestMsg):
             return self._allocate(message)
@@ -97,8 +157,8 @@ class GlobalResourceManager:
         raise ManagerError(f"GRM {self.name!r} cannot handle {type(message).__name__}")
 
     def _allocate(self, msg: AllocationRequestMsg) -> Message:
-        principals = self.bank.principals()
-        if msg.principal not in principals:
+        self._sync_principals()
+        if msg.principal not in self._pindex:
             raise UnknownPrincipalError(msg.principal)
         if msg.principal in self._delegates and self.transport is not None:
             get_observer().counter("grm.delegated", grm=self.name)
@@ -106,10 +166,11 @@ class GlobalResourceManager:
 
         obs = get_observer()
         with obs.span("grm.allocate", grm=self.name, principal=msg.principal):
-            system = AgreementSystem.from_bank(self.bank, msg.resource_type)
-            live = system.with_capacities(
-                self.availability_vector(msg.resource_type)
-            )
+            # The topology is cached on the bank version: unchanged
+            # agreements mean no re-flattening and no coefficient DP, just
+            # a view over the live availability vector.
+            topology = self.bank.topology(msg.resource_type)
+            live = topology.view(self.availability_vector(msg.resource_type))
             try:
                 allocation = allocate_lp(
                     live, msg.principal, msg.amount, level=msg.level
@@ -125,7 +186,7 @@ class GlobalResourceManager:
                 )
             takes = tuple(
                 (p, float(t))
-                for p, t in zip(principals, allocation.take)
+                for p, t in zip(self._principals, allocation.take)
                 if t > 1e-12
             )
             grant = AllocationGrant(
@@ -136,11 +197,10 @@ class GlobalResourceManager:
             )
             # Update cached availability until fresh reports arrive, and
             # remember the grant so a release can restore it.
+            vec = self._avail_vector(msg.resource_type)
             for p, t in takes:
-                key = (p, msg.resource_type)
-                self._availability[key] = max(
-                    self._availability.get(key, 0.0) - t, 0.0
-                )
+                i = self._pindex[p]
+                vec[i] = max(vec[i] - t, 0.0)
             self._grants[grant.msg_id] = (msg.resource_type, takes)
             self.requests_served += 1
             obs.counter("grm.requests_served", grm=self.name)
@@ -153,9 +213,11 @@ class GlobalResourceManager:
             raise ManagerError(
                 f"GRM {self.name!r} has no open grant {msg.grant_id}"
             ) from None
+        vec = self._avail_vector(resource_type)
         for p, t in takes:
-            key = (p, resource_type)
-            self._availability[key] = self._availability.get(key, 0.0) + t
+            i = self._pindex.get(p)
+            if i is not None:
+                vec[i] += t
 
     # -- conveniences -----------------------------------------------------------------
 

@@ -46,7 +46,7 @@ class HierarchicalGRM:
         would fan out in a deployment)."""
         for grm in [self.root, *self.children.values()]:
             for principal, value in availability.items():
-                grm._availability[(principal, resource_type)] = value
+                grm.set_availability(principal, value, resource_type)
 
     def requests_served(self) -> dict[str, int]:
         out = {self.root.name: self.root.requests_served}

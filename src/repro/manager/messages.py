@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Message",
     "AvailabilityReport",
+    "AvailabilityBatch",
     "AllocationRequestMsg",
     "AllocationGrant",
     "AllocationDenied",
@@ -35,6 +36,21 @@ class AvailabilityReport(Message):
 
     resource_type: str = "general"
     available: float = 0.0
+
+
+@dataclass(frozen=True)
+class AvailabilityBatch(Message):
+    """Aggregator -> GRM: availability for many principals in one send.
+
+    Semantically identical to one :class:`AvailabilityReport` per entry,
+    but a consultation that refreshes every proxy's availability costs a
+    single message instead of n.  ``reports`` holds ``(principal,
+    available)`` pairs for one resource type.  The per-principal report
+    path remains for individual LRMs.
+    """
+
+    resource_type: str = "general"
+    reports: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,15 @@ availability reports and allocation requests travel as messages to a
 as a ticket/currency bank.  Results are identical (the GRM runs the same
 LP); what this buys is end-to-end exercise of the deployment path — and a
 place where agreement changes made on the *bank* (revoking a ticket)
-immediately affect scheduling decisions.
+immediately affect scheduling decisions: every mutation bumps
+:attr:`~repro.economy.Bank.version`, which invalidates the GRM's cached
+topology, so the very next consultation is scheduled against the changed
+agreements.
+
+Message traffic per consultation is one :class:`AvailabilityBatch`
+(carrying all n proxy reports) plus the allocation request, instead of n
+individual :class:`AvailabilityReport` sends; the single-report path
+remains in the GRM for plain LRMs.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ import numpy as np
 
 from ..economy.bank import Bank
 from ..manager.grm import GlobalResourceManager
-from ..manager.messages import AllocationGrant, AllocationRequestMsg, AvailabilityReport
+from ..manager.messages import AllocationGrant, AllocationRequestMsg, AvailabilityBatch
 from ..manager.transport import InProcessTransport
 from .redirect import RedirectPolicy
 
@@ -46,8 +54,9 @@ def bank_for_structure(system) -> Bank:
 class ManagerPolicy(RedirectPolicy):
     """A redirect policy backed by a GRM over a message transport.
 
-    Each :meth:`plan` call sends one availability report per proxy
-    followed by an allocation request, exactly as LRMs would.
+    Each :meth:`plan` call sends one batched availability report covering
+    every proxy, followed by an allocation request, exactly as an LRM
+    aggregator would.
     """
 
     def __init__(self, system, level: int | None = None):
@@ -55,6 +64,7 @@ class ManagerPolicy(RedirectPolicy):
         self.level = level
         self.n = system.n
         self.principals = list(system.principals)
+        self._pindex = {p: i for i, p in enumerate(self.principals)}
         self.transport = InProcessTransport()
         self.bank = bank_for_structure(system)
         self.grm = GlobalResourceManager("grm", self.bank)
@@ -62,16 +72,18 @@ class ManagerPolicy(RedirectPolicy):
         self.messages = 0
 
     def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
-        # LRM availability reports.
-        for k, principal in enumerate(self.principals):
-            self.transport.send(
-                "grm",
-                AvailabilityReport(
-                    sender=principal,
-                    resource_type="general",
-                    available=float(avail[k]),
+        # One batched availability refresh for all proxies.
+        self.transport.send(
+            "grm",
+            AvailabilityBatch(
+                sender=self.principals[requester],
+                resource_type="general",
+                reports=tuple(
+                    (principal, float(avail[k]))
+                    for k, principal in enumerate(self.principals)
                 ),
-            )
+            ),
+        )
         reply = self.transport.send(
             "grm",
             AllocationRequestMsg(
@@ -100,7 +112,7 @@ class ManagerPolicy(RedirectPolicy):
         take = np.zeros(self.n)
         if isinstance(reply, AllocationGrant):
             for principal, amount in reply.takes:
-                take[self.principals.index(principal)] = amount
+                take[self._pindex[principal]] = amount
         # Denials and any unplaced remainder stay local.
         take[requester] += max(excess - take.sum(), 0.0)
         return take

@@ -64,18 +64,25 @@ class NoSharingPolicy(RedirectPolicy):
 
 
 class _SystemPolicy(RedirectPolicy):
-    """Shared plumbing: rebuild the agreement system with live availability."""
+    """Shared plumbing: bind live availability to the agreement topology.
+
+    The structure half (and its transitive-coefficient cache) is shared
+    across every epoch; each consultation only mints a cheap
+    :class:`~repro.agreements.topology.CapacityView` over the current
+    availability vector.
+    """
 
     def __init__(self, system: AgreementSystem):
         self.system = system
+        self.topology = system.topology
         self.n = system.n
 
-    def _live(self, avail: np.ndarray) -> AgreementSystem:
+    def _live(self, avail: np.ndarray):
         if avail.shape != (self.n,):
             raise SimulationError(
                 f"availability vector must have length {self.n}"
             )
-        return self.system.with_capacities(np.maximum(avail, 0.0))
+        return self.topology.view(np.maximum(avail, 0.0))
 
 
 class LPPolicy(_SystemPolicy):
@@ -129,7 +136,7 @@ class EndpointPolicy(_SystemPolicy):
     def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
         rated = self.rated.copy()
         rated[requester] = 0.0  # the excess is precisely what cannot stay
-        nominal = self.system.with_capacities(rated)
+        nominal = self.topology.view(rated)
         allocation = allocate_endpoint(
             nominal, nominal.principals[requester], excess, partial=True
         )

@@ -1,0 +1,171 @@
+"""Tests for the AgreementTopology / CapacityView split.
+
+Covers the contracts the refactor introduced — immutability, structural
+hashing, shared coefficient caches, per-view memoisation — plus a
+property test that the :class:`AgreementSystem` facade produces exactly
+the pre-refactor results (the direct ``repro.agreements.flow``
+computations) on random agreement structures.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agreements import AgreementSystem, AgreementTopology, CapacityView
+from repro.agreements import flow
+from repro.errors import InvalidAgreementMatrixError, OversharingError
+
+S3 = np.array([[0.0, 0.3, 0.2], [0.1, 0.0, 0.0], [0.0, 0.4, 0.0]])
+A3 = np.array([[0.0, 0.0, 2.0], [0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+V3 = np.array([10.0, 20.0, 30.0])
+P3 = ["a", "b", "c"]
+
+
+def topo(**kw):
+    return AgreementTopology(P3, S3, kw.pop("A", None), **kw)
+
+
+class TestImmutability:
+    def test_matrices_frozen(self):
+        t = topo(A=A3)
+        for arr in (t.S, t.A):
+            with pytest.raises(ValueError):
+                arr[0, 1] = 99.0
+
+    def test_coefficients_frozen(self):
+        t = topo()
+        with pytest.raises(ValueError):
+            t.coefficients()[0, 1] = 99.0
+
+    def test_view_capacities_frozen(self):
+        v = topo().view(V3)
+        with pytest.raises(ValueError):
+            v.V[0] = 99.0
+
+    def test_source_arrays_not_aliased(self):
+        S = S3.copy()
+        t = AgreementTopology(P3, S)
+        S[0, 1] = 0.9  # caller mutates their own copy
+        assert t.S[0, 1] == pytest.approx(0.3)
+
+
+class TestIdentity:
+    def test_equal_structures_hash_equal(self):
+        t1, t2 = topo(A=A3), topo(A=A3)
+        assert t1 is not t2
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+        assert len({t1, t2}) == 1
+
+    def test_different_S_not_equal(self):
+        other = S3.copy()
+        other[0, 1] = 0.5
+        assert topo() != AgreementTopology(P3, other)
+
+    def test_flags_part_of_identity(self):
+        assert topo() != topo(flow_method="dfs")
+
+    def test_usable_as_dict_key(self):
+        cache = {topo(): "cached"}
+        assert cache[topo()] == "cached"
+
+
+class TestValidation:
+    def test_oversharing_rejected(self):
+        S = np.array([[0.0, 0.7, 0.7], [0.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        with pytest.raises(OversharingError):
+            AgreementTopology(P3, S)
+        AgreementTopology(P3, S, allow_overdraft=True)  # lifted restriction
+
+    def test_bad_capacity_vector(self):
+        t = topo()
+        with pytest.raises(InvalidAgreementMatrixError, match="shape"):
+            t.view(np.ones(4))
+        with pytest.raises(InvalidAgreementMatrixError, match="non-negative"):
+            t.view(np.array([1.0, -1.0, 1.0]))
+
+
+class TestCaching:
+    def test_coefficient_cache_shared_across_views(self):
+        t = topo()
+        v1, v2 = t.view(V3), t.view(V3 * 2)
+        assert v1.coefficients(2) is v2.coefficients(2)
+
+    def test_with_capacities_shares_topology(self):
+        v1 = topo().view(V3)
+        v2 = v1.with_capacities(V3 * 2)
+        assert v2.topology is v1.topology
+
+    def test_view_memoises_uc_per_level(self):
+        v = topo(A=A3).view(V3)
+        assert v.u(2) is v.u(2)
+        assert v.capacities(2) is v.capacities(2)
+        assert v.capacities(1) is not v.capacities(2)
+
+    def test_facade_with_capacities_shares_topology(self):
+        sys_ = AgreementSystem(P3, V3, S3)
+        rescaled = sys_.with_capacities(V3 * 0.5)
+        assert rescaled.topology is sys_.topology
+
+
+class TestFacade:
+    def test_facade_is_view_over_topology(self):
+        sys_ = AgreementSystem(P3, V3, S3, A3)
+        assert isinstance(sys_.topology, AgreementTopology)
+        assert isinstance(sys_.view, CapacityView)
+        np.testing.assert_allclose(sys_.capacities(), sys_.view.capacities())
+
+    def test_from_topology_round_trip(self):
+        t = topo(A=A3)
+        sys_ = AgreementSystem.from_topology(t, V3)
+        assert sys_.topology is t
+        np.testing.assert_allclose(sys_.capacities(), t.capacities(V3))
+
+
+# -- property test: facade == pre-refactor flow pipeline ---------------------
+
+
+@st.composite
+def random_structures(draw):
+    n = draw(st.integers(2, 5))
+    fl = st.floats(0.0, 1.0, allow_nan=False, allow_infinity=False)
+    S = np.array([[draw(fl) for _ in range(n)] for _ in range(n)], dtype=float)
+    np.fill_diagonal(S, 0.0)
+    # normalise rows so the no-overdraft constraint holds
+    sums = S.sum(axis=1, keepdims=True)
+    S = np.where(sums > 1.0, S / np.maximum(sums, 1e-12), S)
+    V = np.array([draw(st.floats(0.0, 100.0, allow_nan=False)) for _ in range(n)])
+    if draw(st.booleans()):
+        grant = st.floats(0.0, 10.0, allow_nan=False)
+        A = np.array([[draw(grant) for _ in range(n)] for _ in range(n)])
+        np.fill_diagonal(A, 0.0)
+    else:
+        A = None
+    level = draw(st.one_of(st.none(), st.integers(0, n - 1)))
+    return n, S, V, A, level
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_structures())
+def test_facade_matches_direct_flow_computation(structure):
+    n, S, V, A, level = structure
+    principals = [f"p{i}" for i in range(n)]
+    sys_ = AgreementSystem(principals, V, S, A)
+
+    # the pre-refactor semantics: the flow pipeline applied directly
+    m = n - 1 if level is None else min(level, n - 1)
+    T = flow.transitive_coefficients(S, m, "dp")
+    I = flow.flow_matrix(V, T)
+    U = flow.u_matrix(I, A, V)
+    C = flow.capacities(V, U)
+
+    np.testing.assert_allclose(sys_.coefficients(level), T, atol=1e-12)
+    np.testing.assert_allclose(sys_.flows(level), I, atol=1e-12)
+    np.testing.assert_allclose(sys_.u(level), U, atol=1e-12)
+    np.testing.assert_allclose(sys_.capacities(level), C, atol=1e-12)
+
+    # and the topology/view path agrees with the facade
+    view = sys_.topology.view(V)
+    np.testing.assert_allclose(view.capacities(level), C, atol=1e-12)
+    np.testing.assert_allclose(sys_.topology.capacities(V, level), C, atol=1e-12)

@@ -155,8 +155,8 @@ class TestAllocation:
         grm.register_principal("c", ResourceVector(general=0.0))
         bank.issue_relative_ticket("a", "b", 50)
         bank.issue_relative_ticket("b", "c", 50)
-        grm._availability.update({("a", "general"): 8.0, ("b", "general"): 0.0,
-                                  ("c", "general"): 0.0})
+        for p, avail in (("a", 8.0), ("b", 0.0), ("c", 0.0)):
+            grm.set_availability(p, avail)
         denied = transport.send(
             "grm",
             AllocationRequestMsg(sender="c", principal="c", amount=1.0, level=1),
@@ -176,7 +176,8 @@ class TestMultiLevelGRM:
         # Child GRM manages isp2/isp3 over the same bank.
         child = GlobalResourceManager("grm-child", grm.bank)
         child.attach(transport)
-        child._availability = dict(grm._availability)
+        for p in grm.bank.principals():
+            child.set_availability(p, grm.availability(p))
         grm.delegate("grm-child", ["isp2", "isp3"])
         reply = transport.send(
             "grm",

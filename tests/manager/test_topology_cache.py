@@ -1,0 +1,168 @@
+"""Version-keyed topology caching on the bank, observed end to end.
+
+The contract under test: the GRM never re-flattens the funding graph
+while agreements are unchanged (the version-keyed cache absorbs every
+allocation), yet any bank mutation — issuing or revoking a ticket —
+bumps :attr:`Bank.version`, invalidates the cached topology, and changes
+the *next* grant.
+"""
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.agreements import complete_structure
+from repro.economy import Bank
+from repro.manager import (
+    AllocationGrant,
+    AllocationRequestMsg,
+    GlobalResourceManager,
+    InProcessTransport,
+)
+from repro.manager.messages import AllocationDenied
+from repro.proxysim.manager_bridge import ManagerPolicy
+from repro.units import ResourceVector
+
+
+@pytest.fixture
+def observer():
+    ob = obs.enable()
+    yield ob
+    obs.disable()
+
+
+def two_node_cluster(share=0.5):
+    """a shares ``share`` with b; only a has capacity."""
+    transport = InProcessTransport()
+    bank = Bank()
+    grm = GlobalResourceManager("grm", bank)
+    grm.attach(transport)
+    grm.register_principal("a", ResourceVector(general=10.0))
+    grm.register_principal("b", ResourceVector(general=0.0))
+    ticket = bank.issue_relative_ticket("a", "b", share * 100)
+    grm.set_availability("a", 10.0)
+    grm.set_availability("b", 0.0)
+    return transport, bank, grm, ticket
+
+
+def request_for_b(transport, amount=2.0):
+    return transport.send(
+        "grm",
+        AllocationRequestMsg(sender="b", principal="b", amount=amount),
+    )
+
+
+class TestVersionCounter:
+    def test_mutations_bump_version(self):
+        bank = Bank()
+        v = bank.version
+        bank.create_currency("a", face_value=100.0)
+        bank.create_currency("b", face_value=100.0)
+        assert bank.version > v
+
+        v = bank.version
+        t = bank.issue_relative_ticket("a", "b", 50)
+        assert bank.version == v + 1
+
+        v = bank.version
+        bank.revoke_ticket(t.ticket_id)
+        assert bank.version == v + 1
+
+        v = bank.version
+        bank.inflate_currency("a", 2.0)
+        assert bank.version == v + 1
+
+    def test_reads_do_not_bump(self):
+        bank = Bank()
+        bank.create_currency("a", face_value=100.0)
+        v = bank.version
+        bank.topology()
+        bank.capacity_view()
+        bank.currency_values()
+        assert bank.version == v
+
+
+class TestTopologyCache:
+    def test_same_version_same_object(self):
+        bank = Bank()
+        bank.create_currency("a", face_value=100.0)
+        assert bank.topology() is bank.topology()
+
+    def test_mutation_invalidates(self):
+        bank = Bank()
+        bank.create_currency("a", face_value=100.0)
+        bank.create_currency("b", face_value=100.0)
+        before = bank.topology()
+        t = bank.issue_relative_ticket("a", "b", 30)
+        after = bank.topology()
+        assert after is not before
+        assert after != before  # structurally: the share changed
+        bank.revoke_ticket(t.ticket_id)
+        assert bank.topology() == before  # back to no sharing
+
+    def test_counters_track_hits_and_misses(self, observer):
+        bank = Bank()
+        bank.create_currency("a", face_value=100.0)
+        bank.topology()
+        bank.topology()
+        bank.topology()
+        reg = observer.registry
+        assert reg.counter_total("topology.cache_miss") == 1
+        assert reg.counter_total("topology.rebuilds") == 1
+        assert reg.counter_total("topology.cache_hit") == 2
+
+
+class TestRevocationChangesGrants:
+    def test_revocation_denies_next_request(self):
+        transport, bank, grm, ticket = two_node_cluster()
+        granted = request_for_b(transport)
+        assert isinstance(granted, AllocationGrant)
+        assert granted.take_for("a") == pytest.approx(2.0)
+
+        bank.revoke_ticket(ticket.ticket_id)
+        denied = request_for_b(transport)
+        assert isinstance(denied, AllocationDenied)
+
+    def test_issuing_enables_next_request(self):
+        transport = InProcessTransport()
+        bank = Bank()
+        grm = GlobalResourceManager("grm", bank)
+        grm.attach(transport)
+        grm.register_principal("a", ResourceVector(general=10.0))
+        grm.register_principal("b", ResourceVector(general=0.0))
+        grm.set_availability("a", 10.0)
+        grm.set_availability("b", 0.0)
+        assert isinstance(request_for_b(transport), AllocationDenied)
+        bank.issue_relative_ticket("a", "b", 50)
+        assert isinstance(request_for_b(transport), AllocationGrant)
+
+
+class TestManagerPathCacheBehaviour:
+    def test_zero_rebuilds_with_unchanged_agreements(self, observer):
+        """A whole run of consultations costs exactly one topology build."""
+        mp = ManagerPolicy(complete_structure(4, share=0.2))
+        rng = np.random.default_rng(3)
+        for _ in range(25):
+            avail = rng.uniform(0.0, 100.0, size=4)
+            req = int(rng.integers(0, 4))
+            avail[req] = 0.0
+            mp.plan(req, float(rng.uniform(1.0, 10.0)), avail)
+        reg = observer.registry
+        assert reg.counter_total("topology.rebuilds") == 1
+        assert reg.counter_total("topology.cache_miss") == 1
+        assert reg.counter_total("topology.cache_hit") >= 24
+
+    def test_revocation_mid_run_changes_next_plan(self, observer):
+        """Revoking every ticket mid-run starves remote placement."""
+        mp = ManagerPolicy(complete_structure(3, share=0.2))
+        avail = np.array([0.0, 50.0, 80.0])
+        before = mp.plan(0, 10.0, avail.copy())
+        assert before[1] + before[2] > 0  # remote placement happened
+
+        for t in mp.bank.tickets:
+            mp.bank.revoke_ticket(t.ticket_id)
+        after = mp.plan(0, 10.0, avail.copy())
+        assert after[0] == pytest.approx(10.0)  # everything stays local
+        assert after[1] + after[2] == pytest.approx(0.0)
+        # the mutation forced exactly one extra rebuild
+        assert observer.registry.counter_total("topology.rebuilds") == 2

@@ -36,6 +36,23 @@ class TestManagerPolicyPlans:
         take_l = lp.plan(0, 10.0, avail.copy())
         np.testing.assert_allclose(take_m, take_l, atol=1e-7)
 
+    def test_matches_lp_policy_fig05_structure(self):
+        """The manager path equals direct LP on the 10-proxy baseline."""
+        fig05 = complete_structure(10, share=0.1)
+        mp = ManagerPolicy(fig05)
+        lp = LPPolicy(fig05)
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            avail = rng.uniform(0.0, 100.0, size=10)
+            req = int(rng.integers(0, 10))
+            avail[req] = 0.0
+            excess = float(rng.uniform(1.0, 20.0))
+            np.testing.assert_allclose(
+                mp.plan(req, excess, avail.copy()),
+                lp.plan(req, excess, avail.copy()),
+                atol=1e-7,
+            )
+
     def test_denial_falls_back_to_partial(self, system):
         avail = np.array([0.0, 5.0, 5.0])
         mp = ManagerPolicy(system)
@@ -48,7 +65,27 @@ class TestManagerPolicyPlans:
     def test_message_counting(self, system):
         mp = ManagerPolicy(system)
         mp.plan(0, 1.0, np.array([0.0, 50.0, 80.0]))
-        assert mp.messages >= 4  # 3 reports + 1 request
+        # one batched availability report + one request, regardless of n
+        assert mp.messages == 2
+
+    def test_batch_matches_individual_reports(self, system):
+        from repro.manager.messages import AvailabilityBatch, AvailabilityReport
+
+        mp = ManagerPolicy(system)
+        mp.transport.send(
+            "grm",
+            AvailabilityBatch(
+                sender="isp0",
+                reports=(("isp0", 1.0), ("isp1", 2.0), ("isp2", 3.0)),
+            ),
+        )
+        batched = mp.grm.availability_vector()
+        for k, p in enumerate(mp.principals):
+            mp.transport.send(
+                "grm",
+                AvailabilityReport(sender=p, available=float(k + 1)),
+            )
+        np.testing.assert_allclose(mp.grm.availability_vector(), batched)
 
     def test_level_respected(self):
         from repro.agreements import loop_structure
