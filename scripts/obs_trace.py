@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Reconstruct request span trees from one or many repro.obs traces.
+
+Every node in a GRM/LRM deployment writes its own JSONL trace; the trace
+context on each span line (trace/span/parent ids) is what stitches one
+allocation's journey back together.  This tool merges the files,
+rebuilds the per-request trees, and attributes each request's latency to
+queueing vs transport vs topology work vs the LP solve.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_trace.py run.jsonl
+    PYTHONPATH=src python scripts/obs_trace.py node-a.jsonl node-b.jsonl
+    PYTHONPATH=src python scripts/obs_trace.py --trace-id 1a2b3c run.jsonl
+    PYTHONPATH=src python scripts/obs_trace.py --json run.jsonl
+    PYTHONPATH=src python scripts/obs_trace.py explain 17 run.jsonl
+
+``explain REQUEST_ID`` prints the flight-recorder record(s) for one
+allocation decision (requestor, donor split, theta, LP statistics,
+capacities before/after) — the offline counterpart of
+``repro.obs.explain``.  Exit status 1 if the request id appears in none
+of the given traces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Allow running from a source checkout without installing the package.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.trace_tools import (  # noqa: E402
+    build_trees,
+    find_decisions,
+    load_traces,
+    render_trees,
+    trees_summary,
+)
+
+
+def _check_traces(parser: argparse.ArgumentParser, traces: list[str]) -> None:
+    for trace in traces:
+        if not Path(trace).exists():
+            parser.error(f"trace file not found: {trace}")
+
+
+def _cmd_tree(args) -> int:
+    records = load_traces(args.traces)
+    trees = build_trees(records)
+    if args.json:
+        summary = trees_summary(trees)
+        if args.trace_id is not None:
+            summary = {k: v for k, v in summary.items() if k == args.trace_id}
+        print(json.dumps(summary, indent=2))
+    else:
+        print(render_trees(trees, trace_id=args.trace_id))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    records = load_traces(args.traces)
+    decisions = find_decisions(records, request_id=args.request_id)
+    if not decisions:
+        print(
+            f"no decision record for request {args.request_id} in "
+            f"{len(args.traces)} trace file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(decisions, indent=2))
+        return 0
+    for dec in decisions:
+        print(f"request {dec.get('request_id')}: {dec.get('outcome', '?')}")
+        for key in (
+            "requestor", "resource_type", "amount", "granted", "theta",
+            "reason", "grm", "bank_version", "lp_backend", "lp_status",
+            "lp_iterations", "trace_id", "source",
+        ):
+            if key in dec:
+                print(f"  {key}: {dec[key]}")
+        if dec.get("takes"):
+            print("  donor split:")
+            for principal, quantity in dec["takes"]:
+                print(f"    {principal}: {quantity:g}")
+        for key in ("availability_before", "capacities_before", "capacities_after"):
+            if key in dec:
+                cells = ", ".join(f"{p}={v:g}" for p, v in dec[key].items())
+                print(f"  {key}: {cells}")
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Default subcommand: a bare list of trace files means "tree".
+    if argv and argv[0] not in ("tree", "explain", "-h", "--help"):
+        argv.insert(0, "tree")
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tree = sub.add_parser(
+        "tree", help="merge traces and print per-request span trees"
+    )
+    p_tree.add_argument("traces", nargs="+", help="JSONL trace file(s) to merge")
+    p_tree.add_argument("--trace-id", help="only show this trace")
+    p_tree.add_argument("--json", action="store_true", help="machine-readable output")
+    p_tree.set_defaults(fn=_cmd_tree)
+
+    p_explain = sub.add_parser(
+        "explain", help="print the decision record(s) for a request id"
+    )
+    p_explain.add_argument("request_id", type=int, help="request (message) id")
+    p_explain.add_argument("traces", nargs="+", help="JSONL trace file(s) to search")
+    p_explain.add_argument("--json", action="store_true", help="machine-readable output")
+    p_explain.set_defaults(fn=_cmd_explain)
+
+    args = parser.parse_args(argv)
+    _check_traces(parser, args.traces)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ import numpy as np
 from ..agreements.matrix import AgreementSystem
 from ..errors import AllocationError, InsufficientResourcesError
 from ..obs import get_observer
+from ..obs.decision import current_decision
 from .lp_allocator import allocate_lp
 from .problem import Allocation, AllocationRequest
 
@@ -187,6 +188,11 @@ def allocate_hierarchical(
             obs.histogram("allocation.donors", donors)
             span.set(path="multigrid", rounds=rounds, donors=donors,
                      satisfied=satisfied)
+            dec = current_decision()
+            if dec is not None:
+                # The refinement round count is evidence the opener of
+                # the decision (GRM or policy) cannot see from outside.
+                dec.set(multigrid_rounds=rounds)
         if remaining > 1e-6 and not partial:
             # Undo nothing — this is a pure planning function; just report.
             obs.event(

@@ -53,6 +53,7 @@ from ..errors import (
 )
 from ..lp import LinearProgram
 from ..obs import get_observer
+from ..obs.decision import current_decision
 from .problem import Allocation, AllocationRequest
 
 __all__ = ["allocate_lp"]
@@ -197,6 +198,15 @@ def _solve_reduced_arrays(n, a, x, V, U, T, objective):
             obs.counter("lp.solves", backend="scipy")
             obs.histogram("lp.iterations", iterations, backend="scipy")
             sp.set(status=int(res.status), iterations=iterations)
+            dec = current_decision()
+            if dec is not None:
+                # Attach solver evidence to whichever allocation decision
+                # (GRM grant, direct policy plan) is in flight.
+                dec.set(
+                    lp_backend="scipy",
+                    lp_status=int(res.status),
+                    lp_iterations=iterations,
+                )
     if res.status != 0:
         raise InfeasibleAllocationError(
             f"allocation LP failed (scipy status {res.status}): {res.message}"
@@ -228,6 +238,9 @@ def _solve_reduced(n, a, x, V, U, T, objective, backend):
 
     lp.minimize(theta)
     res = lp.solve(backend=backend)
+    dec = current_decision()
+    if dec is not None:
+        dec.set(lp_backend=backend, lp_status=res.status.value)
     if not res.ok:
         raise InfeasibleAllocationError(
             f"allocation LP reported {res.status.value} "
@@ -282,6 +295,9 @@ def _solve_faithful(n, a, x, V, U, T, C, objective, backend):
 
     lp.minimize(theta)
     res = lp.solve(backend=backend)
+    dec = current_decision()
+    if dec is not None:
+        dec.set(lp_backend=backend, lp_status=res.status.value)
     if not res.ok:
         raise InfeasibleAllocationError(
             f"allocation LP reported {res.status.value} "

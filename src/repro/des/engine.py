@@ -3,6 +3,14 @@
 A deliberately small kernel: events are ``(time, sequence, callback)``
 triples on a binary heap; the sequence number makes simultaneous events
 fire in scheduling order, so runs are deterministic.
+
+Trace propagation: scheduling an event is an async boundary — the
+callback fires later, from an empty call stack.  With observability
+enabled, :meth:`Engine.schedule_at` captures the scheduler's trace
+context onto the event and :meth:`Engine.run` re-activates it around the
+callback, so spans opened inside DES callbacks stay causally attached to
+whatever scheduled them.  With observability disabled the captured
+context is ``None`` and firing takes the original fast path.
 """
 
 from __future__ import annotations
@@ -14,7 +22,8 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..errors import SimulationError
-from ..obs import get_observer
+from ..obs import get_observer, use_context
+from ..obs.context import TraceContext
 
 __all__ = ["Engine", "Event"]
 
@@ -27,6 +36,8 @@ class Event:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: trace context captured at schedule time (None when obs is off)
+    ctx: TraceContext | None = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing (it stays on the heap)."""
@@ -67,7 +78,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time:g}; clock is already at {self._now:g}"
             )
-        ev = Event(max(time, self._now), next(self._seq), fn)
+        obs = get_observer()
+        ctx = obs.current_context() if obs.enabled else None
+        ev = Event(max(time, self._now), next(self._seq), fn, ctx=ctx)
         heapq.heappush(self._heap, ev)
         return ev
 
@@ -100,7 +113,11 @@ class Engine:
                     skipped += 1
                     continue
                 self._now = ev.time
-                ev.fn()
+                if ev.ctx is not None:
+                    with use_context(ev.ctx):
+                        ev.fn()
+                else:
+                    ev.fn()
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     return

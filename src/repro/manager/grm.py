@@ -171,40 +171,74 @@ class GlobalResourceManager:
             # a view over the live availability vector.
             topology = self.bank.topology(msg.resource_type)
             live = topology.view(self.availability_vector(msg.resource_type))
-            try:
-                allocation = allocate_lp(
-                    live, msg.principal, msg.amount, level=msg.level
+            # The flight-recorder entry: deeper layers (the LP solver)
+            # attach their statistics to it while the block is open.
+            with obs.decision(
+                request_id=msg.msg_id,
+                requestor=msg.principal,
+                resource_type=msg.resource_type,
+                amount=float(msg.amount),
+                grm=self.name,
+                bank_version=self.bank.version,
+            ) as dec:
+                if obs.enabled:
+                    dec.set(
+                        availability_before=self._named(live.V),
+                        capacities_before=self._named(
+                            live.capacities(msg.level)
+                        ),
+                    )
+                try:
+                    allocation = allocate_lp(
+                        live, msg.principal, msg.amount, level=msg.level
+                    )
+                except InsufficientResourcesError as exc:
+                    self.requests_denied += 1
+                    obs.counter("grm.requests_denied", grm=self.name)
+                    dec.set(
+                        outcome="denied",
+                        reason=str(exc),
+                        available=float(exc.available),
+                    )
+                    return AllocationDenied(
+                        sender=self.name,
+                        request_id=msg.msg_id,
+                        reason=str(exc),
+                        available=exc.available,
+                    )
+                takes = tuple(
+                    (p, float(t))
+                    for p, t in zip(self._principals, allocation.take)
+                    if t > 1e-12
                 )
-            except InsufficientResourcesError as exc:
-                self.requests_denied += 1
-                obs.counter("grm.requests_denied", grm=self.name)
-                return AllocationDenied(
+                grant = AllocationGrant(
                     sender=self.name,
                     request_id=msg.msg_id,
-                    reason=str(exc),
-                    available=exc.available,
+                    takes=takes,
+                    theta=allocation.theta,
                 )
-            takes = tuple(
-                (p, float(t))
-                for p, t in zip(self._principals, allocation.take)
-                if t > 1e-12
-            )
-            grant = AllocationGrant(
-                sender=self.name,
-                request_id=msg.msg_id,
-                takes=takes,
-                theta=allocation.theta,
-            )
-            # Update cached availability until fresh reports arrive, and
-            # remember the grant so a release can restore it.
-            vec = self._avail_vector(msg.resource_type)
-            for p, t in takes:
-                i = self._pindex[p]
-                vec[i] = max(vec[i] - t, 0.0)
-            self._grants[grant.msg_id] = (msg.resource_type, takes)
-            self.requests_served += 1
-            obs.counter("grm.requests_served", grm=self.name)
-            return grant
+                dec.set(
+                    outcome="granted",
+                    granted=float(allocation.satisfied),
+                    takes=takes,
+                    theta=float(allocation.theta),
+                )
+                if obs.enabled:
+                    dec.set(capacities_after=self._named(allocation.new_C))
+                # Update cached availability until fresh reports arrive, and
+                # remember the grant so a release can restore it.
+                vec = self._avail_vector(msg.resource_type)
+                for p, t in takes:
+                    i = self._pindex[p]
+                    vec[i] = max(vec[i] - t, 0.0)
+                self._grants[grant.msg_id] = (msg.resource_type, takes)
+                self.requests_served += 1
+                obs.counter("grm.requests_served", grm=self.name)
+                return grant
+
+    def _named(self, vector) -> dict[str, float]:
+        """A per-principal dict view of a vector (for decision records)."""
+        return {p: float(v) for p, v in zip(self._principals, vector)}
 
     def _release(self, msg: ReleaseMsg) -> None:
         try:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..economy.bank import Bank
 from ..errors import ManagerError
+from ..obs import get_observer
 from .grm import GlobalResourceManager
 from .transport import InProcessTransport
 
@@ -44,9 +45,15 @@ class HierarchicalGRM:
     def broadcast_availability(self, availability: dict[str, float], resource_type: str = "general") -> None:
         """Push availability to the root and every child (as LRM reports
         would fan out in a deployment)."""
-        for grm in [self.root, *self.children.values()]:
-            for principal, value in availability.items():
-                grm.set_availability(principal, value, resource_type)
+        obs = get_observer()
+        with obs.span(
+            "hierarchy.broadcast",
+            principals=len(availability),
+            grms=1 + len(self.children),
+        ):
+            for grm in [self.root, *self.children.values()]:
+                for principal, value in availability.items():
+                    grm.set_availability(principal, value, resource_type)
 
     def requests_served(self) -> dict[str, int]:
         out = {self.root.name: self.root.requests_served}

@@ -77,18 +77,24 @@ class LocalResourceManager:
     # -- protocol ---------------------------------------------------------------------
 
     def report(self, resource_type: str = "general"):
-        """Push an availability report to the GRM."""
+        """Push an availability report to the GRM.
+
+        Runs inside an ``lrm.report`` span, so when tracing is on the
+        transport hop and the GRM's handling join the report's trace.
+        """
         if self.transport is None:
             raise ManagerError(f"LRM {self.principal!r} is not attached")
-        get_observer().counter("lrm.reports", principal=self.principal)
-        return self.transport.send(
-            self.grm,
-            AvailabilityReport(
-                sender=self.principal,
-                resource_type=resource_type,
-                available=self.available(resource_type),
-            ),
-        )
+        obs = get_observer()
+        obs.counter("lrm.reports", principal=self.principal)
+        with obs.span("lrm.report", principal=self.principal):
+            return self.transport.send(
+                self.grm,
+                AvailabilityReport(
+                    sender=self.principal,
+                    resource_type=resource_type,
+                    available=self.available(resource_type),
+                ),
+            )
 
     def handle(self, message: Message) -> Message | None:
         """LRMs only receive informational messages in this implementation;

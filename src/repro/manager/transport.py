@@ -11,6 +11,13 @@ backwards compatibility), ``sent_by_endpoint`` / ``received_by_endpoint``
 break it down per endpoint, and when :mod:`repro.obs` is enabled the same
 counts flow into the shared registry (``transport.sent{endpoint=...}``)
 along with a per-endpoint handler-latency histogram.
+
+Trace propagation: with observability enabled, each delivery runs inside
+a ``transport.send`` span whose context is stamped onto the message
+(``Message.ctx``) and re-activated around the handler, so the handler's
+spans — and, for pull endpoints, whatever the eventual consumer records
+under :func:`repro.obs.use_context` — join the sender's trace.  With
+observability disabled the original zero-overhead path is untouched.
 """
 
 from __future__ import annotations
@@ -18,9 +25,10 @@ from __future__ import annotations
 import time
 from collections import deque
 from collections.abc import Callable
+from dataclasses import replace
 
 from ..errors import ManagerError
-from ..obs import get_observer
+from ..obs import get_observer, use_context
 from .messages import Message
 
 __all__ = ["InProcessTransport"]
@@ -70,24 +78,42 @@ class InProcessTransport:
         obs = get_observer()
         handler = self._handlers.get(to)
         if obs.enabled:
-            obs.counter("transport.sent", endpoint=to, type=type(message).__name__)
+            return self._send_observed(to, message, handler, obs)
+        if handler is not None:
+            return handler(message)
+        self._mailboxes[to].append(message)
+        return None
+
+    def _send_observed(self, to, message, handler, obs) -> Message | None:
+        """The instrumented delivery path: span + context stamping."""
+        msg_type = type(message).__name__
+        obs.counter("transport.sent", endpoint=to, type=msg_type)
+        with obs.span("transport.send", endpoint=to, type=msg_type) as sp:
+            if message.ctx is None and sp.context is not None:
+                # Stamp the hop's own context so the receiver's spans
+                # become children of this transport.send span.
+                message = replace(message, ctx=sp.context)
             if handler is not None:
                 start = time.perf_counter()
                 try:
-                    return handler(message)
+                    with use_context(message.ctx):
+                        return handler(message)
                 finally:
                     obs.histogram(
                         "transport.handle_seconds",
                         time.perf_counter() - start,
                         endpoint=to,
                     )
-        if handler is not None:
-            return handler(message)
-        self._mailboxes[to].append(message)
-        return None
+            self._mailboxes[to].append(message)
+            return None
 
     def receive(self, name: str) -> Message | None:
-        """Pop the oldest queued message for a pull endpoint."""
+        """Pop the oldest queued message for a pull endpoint.
+
+        The returned message still carries its sender's trace context;
+        consumers that do traced work on it should wrap that work in
+        ``repro.obs.use_context(message.ctx)``.
+        """
         if name not in self._mailboxes:
             raise self._unknown(name)
         box = self._mailboxes[name]

@@ -16,9 +16,12 @@ or from the environment, with no code changes::
 
     REPRO_OBS=1 python examples/quickstart.py
     REPRO_OBS=1 REPRO_OBS_TRACE=run.jsonl python examples/tracing_demo.py
+    REPRO_OBS=1 REPRO_OBS_TRACE=run.jsonl REPRO_OBS_SAMPLE=0.01 ...
 
 A written trace is replayed into summary tables by
-``scripts/obs_report.py`` (or :func:`repro.obs.report.render_trace`).
+``scripts/obs_report.py`` (or :func:`repro.obs.report.render_trace`),
+and per-request span trees are reconstructed — across one or many
+per-node trace files — by ``scripts/obs_trace.py``.
 
 Instrumented call sites follow one pattern::
 
@@ -31,6 +34,15 @@ Instrumented call sites follow one pattern::
 
 Spans automatically feed a duration histogram named ``span.<name>``, so
 enabling metrics alone (no trace file) still yields timing breakdowns.
+Each span also carries a :class:`~repro.obs.context.TraceContext`
+(trace/span/parent ids) propagated across messages and DES events, with
+head-based sampling (``REPRO_OBS_SAMPLE``) deciding per *trace* whether
+its spans/events are written to the JSONL file; metrics are always on.
+
+Allocation decisions additionally land in a bounded flight recorder
+(:mod:`repro.obs.decision`): :func:`explain` answers "why did request N
+come out this way?" with the full donor split, theta, LP statistics, and
+the capacities before/after.
 """
 
 from __future__ import annotations
@@ -39,6 +51,9 @@ import atexit
 import os
 from pathlib import Path
 
+from . import context as trace_context
+from .context import TraceContext, use_context
+from .decision import DecisionBuilder, DecisionRecord, FlightRecorder
 from .events import EventLog
 from .null import NULL_OBSERVER, NullObserver
 from .registry import MetricsRegistry
@@ -51,35 +66,58 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "Span",
+    "TraceContext",
+    "use_context",
+    "trace_context",
+    "DecisionRecord",
+    "FlightRecorder",
     "traced",
     "get_observer",
     "enable",
     "disable",
     "report",
+    "explain",
     "render_snapshot",
     "render_trace",
 ]
+
+#: default flight-recorder capacity (override with REPRO_OBS_DECISIONS)
+DEFAULT_DECISION_CAPACITY = 512
 
 
 class Observer:
     """A live observer: metrics registry + tracer + optional JSONL export.
 
-    All instrumentation funnels through five methods (shared with
+    All instrumentation funnels through a handful of methods (shared with
     :class:`~repro.obs.null.NullObserver`):
 
     - :meth:`counter` / :meth:`gauge` / :meth:`histogram` — metrics;
-    - :meth:`span` — a timed context manager, recorded as both a
-      ``span.<name>`` histogram and (if tracing) a JSONL line;
+    - :meth:`span` / :meth:`root_span` — timed context managers, recorded
+      as both a ``span.<name>`` histogram and (if tracing and the trace
+      is sampled in) a JSONL line carrying trace/span/parent ids;
     - :meth:`event` — a discrete structured record (only meaningful with
-      a trace path; otherwise kept in memory for inspection).
+      a trace path; otherwise kept in memory for inspection);
+    - :meth:`decision` — opens a flight-recorder entry for one
+      allocation decision; :meth:`explain` queries the ring buffer.
+
+    ``sample`` is the head-based sampled-in fraction for *new* traces:
+    sampled-in traces are recorded fully, everything else stays
+    counters-only (the metrics side is unaffected by sampling).
     """
 
     enabled = True
 
-    def __init__(self, trace_path: str | Path | None = None):
+    def __init__(
+        self,
+        trace_path: str | Path | None = None,
+        sample: float = 1.0,
+        decision_capacity: int = DEFAULT_DECISION_CAPACITY,
+    ):
         self.registry = MetricsRegistry()
         self.events_log = EventLog(trace_path)
-        self.tracer = Tracer(self._on_span_close)
+        self.sample_rate = float(sample)
+        self.tracer = Tracer(self._on_span_close, sample_rate=self.sample_rate)
+        self.decisions = FlightRecorder(decision_capacity)
 
     # -- metrics ------------------------------------------------------------
 
@@ -97,22 +135,72 @@ class Observer:
     def span(self, name: str, **attrs) -> Span:
         return self.tracer.span(name, **attrs)
 
+    def root_span(self, name: str, **attrs) -> Span:
+        """A span that starts a new, independently-sampled trace."""
+        return self.tracer.root_span(name, **attrs)
+
+    def current_context(self) -> TraceContext | None:
+        """The trace context in effect on this thread (span or ambient)."""
+        return self.tracer.current_context()
+
     def _on_span_close(self, span: Span) -> None:
         self.registry.observe(f"span.{span.name}", span.duration)
-        self.events_log.emit(
-            {
-                "kind": "span",
-                "name": span.name,
-                "path": span.path,
-                "dur": round(span.duration, 9),
-                "attrs": span.attrs,
-            }
-        )
+        ctx = span.ctx
+        if ctx is not None and not ctx.sampled:
+            self.registry.counter_inc("trace.sampled_out_spans")
+            return
+        record = {
+            "kind": "span",
+            "name": span.name,
+            "path": span.path,
+            "dur": round(span.duration, 9),
+            "attrs": span.attrs,
+        }
+        if ctx is not None:
+            record["trace"] = ctx.trace_id
+            record["span"] = ctx.span_id
+            if ctx.parent_id is not None:
+                record["parent"] = ctx.parent_id
+        self.events_log.emit(record)
 
     # -- events -------------------------------------------------------------
 
     def event(self, kind: str, **fields) -> None:
+        ctx = self.tracer.current_context()
+        if ctx is not None:
+            if not ctx.sampled:
+                self.registry.counter_inc("trace.sampled_out_events")
+                return
+            fields.setdefault("trace", ctx.trace_id)
+            fields.setdefault("span", ctx.span_id)
         self.events_log.emit({"kind": "event", "event": kind, **fields})
+
+    # -- decisions ----------------------------------------------------------
+
+    def decision(self, **fields) -> DecisionBuilder:
+        """Open a flight-recorder entry; use as a context manager.
+
+        Nested layers attach facts to the in-flight record through
+        :func:`repro.obs.decision.current_decision`; on block exit the
+        record is ring-buffered (always) and exported to the trace (when
+        the surrounding trace is sampled in).
+        """
+        return DecisionBuilder(self, fields)
+
+    def _record_decision(self, fields: dict) -> None:
+        ctx = self.tracer.current_context()
+        if ctx is not None:
+            fields.setdefault("trace_id", ctx.trace_id)
+            fields.setdefault("span_id", ctx.span_id)
+        record = DecisionRecord.from_fields(fields)
+        self.decisions.record(record)
+        self.registry.counter_inc("decision.recorded", outcome=record.outcome)
+        if ctx is None or ctx.sampled:
+            self.events_log.emit(record.to_dict())
+
+    def explain(self, request_id: int) -> DecisionRecord | None:
+        """The most recent decision for a request id (None if evicted)."""
+        return self.decisions.explain(request_id)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -166,18 +254,35 @@ def _close_at_exit() -> None:
         _observer.close()
 
 
-def enable(trace_path: str | Path | None = None) -> Observer:
+def enable(
+    trace_path: str | Path | None = None,
+    sample: float | None = None,
+    decision_capacity: int | None = None,
+) -> Observer:
     """Switch observability on, replacing any previous observer.
 
     ``trace_path`` makes every span/event (and, on flush, the metric
     snapshot) stream to a JSONL file; without it, metrics and spans
-    aggregate in memory only.  The trace is flushed and closed on
-    :func:`disable` or, failing that, at interpreter exit.
+    aggregate in memory only.  ``sample`` is the head-based sampled-in
+    fraction for new traces (default 1.0, or ``REPRO_OBS_SAMPLE``);
+    ``decision_capacity`` bounds the allocation flight recorder (default
+    512, or ``REPRO_OBS_DECISIONS``).  Re-enabling flushes and closes
+    the previous observer's trace first, so no already-recorded data is
+    lost; the new trace file starts fresh.  The active trace is flushed
+    and closed on :func:`disable` or, failing that, at interpreter exit.
     """
     global _observer, _atexit_registered
     if isinstance(_observer, Observer):
         _observer.close()
-    _observer = Observer(trace_path)
+    if sample is None:
+        sample = _env_float("REPRO_OBS_SAMPLE", 1.0)
+    if decision_capacity is None:
+        decision_capacity = int(
+            _env_float("REPRO_OBS_DECISIONS", DEFAULT_DECISION_CAPACITY)
+        )
+    _observer = Observer(
+        trace_path, sample=sample, decision_capacity=decision_capacity
+    )
     if not _atexit_registered:
         atexit.register(_close_at_exit)
         _atexit_registered = True
@@ -199,8 +304,27 @@ def report() -> str:
     return "(observability disabled)"
 
 
+def explain(request_id: int) -> DecisionRecord | None:
+    """Look up a request's decision in the live flight recorder.
+
+    Returns None when observability is disabled or the record has been
+    evicted from the ring buffer (or never existed).
+    """
+    return _observer.explain(request_id)
+
+
 def _env_truthy(value: str | None) -> bool:
     return value is not None and value.strip().lower() not in ("", "0", "false", "no")
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
 
 
 if _env_truthy(os.environ.get("REPRO_OBS")):

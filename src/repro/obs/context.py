@@ -1,0 +1,127 @@
+"""Trace-context propagation: stitching one request into one causal tree.
+
+A :class:`TraceContext` names a request (``trace_id``) and one operation
+within it (``span_id``, with ``parent_id`` pointing at the operation that
+caused it).  Every span minted by the tracer carries a context; crossing
+an async or process boundary means carrying the context across by hand:
+
+- :class:`~repro.manager.messages.Message` has an optional ``ctx`` field
+  that :class:`~repro.manager.transport.InProcessTransport` stamps with
+  the sending span's context and re-activates on the receiving side;
+- :class:`~repro.des.engine.Engine` captures the scheduling context on
+  each event and restores it when the callback fires.
+
+With that in place, the spans an allocation touches — DES queueing,
+transport hops, topology cache work, the LP solve — share one
+``trace_id`` and form a parent-linked tree even when each node streams
+its own JSONL file; ``scripts/obs_trace.py`` merges the files and
+reconstructs the trees.
+
+Head-based sampling happens where a trace is *born*: a new root context
+hashes its trace id against the configured rate, and the decision rides
+along in :attr:`TraceContext.sampled`.  Hashing (rather than drawing a
+random number per hop) makes the decision consistent — every node that
+sees a sampled trace id records it fully, and everything else stays
+counters-only.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "TraceContext",
+    "current",
+    "use_context",
+    "new_root",
+    "new_span_id",
+    "sampled_in",
+]
+
+# Span ids carry a per-process prefix so ids minted by different nodes
+# (each writing its own trace file) never collide in a merged view.
+_PROC = uuid.uuid4().hex[:8]
+_ids = itertools.count(1)
+
+
+def new_span_id() -> str:
+    return f"{_PROC}-{next(_ids):x}"
+
+
+def _new_trace_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+def sampled_in(trace_id: str, rate: float) -> bool:
+    """Deterministic head-based sampling decision for a trace id.
+
+    ``rate`` is the sampled-in fraction in ``[0, 1]``.  The decision is a
+    pure function of the id, so any participant can re-derive it without
+    coordination.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return zlib.crc32(trace_id.encode("ascii", "replace")) / 0x100000000 < rate
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request (``trace_id``) and one operation within it (``span_id``)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    sampled: bool = True
+
+    def child(self, span_id: str | None = None) -> TraceContext:
+        """A context for an operation caused by this one (same trace)."""
+        return TraceContext(
+            self.trace_id, span_id or new_span_id(), self.span_id, self.sampled
+        )
+
+
+def new_root(sample_rate: float = 1.0) -> TraceContext:
+    """Mint the context for a brand-new trace, deciding sampling here."""
+    trace_id = _new_trace_id()
+    return TraceContext(
+        trace_id, new_span_id(), None, sampled_in(trace_id, sample_rate)
+    )
+
+
+# -- the ambient (thread-local) context --------------------------------------
+#
+# Set at async boundaries (message delivery, DES event firing) so the
+# first span opened on the far side attaches to the causing trace even
+# though the Python call stack does not connect them.
+
+_ambient = threading.local()
+
+
+def current() -> TraceContext | None:
+    """The ambient context for this thread (None outside any boundary)."""
+    return getattr(_ambient, "ctx", None)
+
+
+@contextmanager
+def use_context(ctx: TraceContext | None):
+    """Make ``ctx`` the ambient context for the duration of the block.
+
+    ``use_context(None)`` is a cheap no-op, so call sites can pass a
+    possibly-absent message context without branching.
+    """
+    if ctx is None:
+        yield None
+        return
+    prev = getattr(_ambient, "ctx", None)
+    _ambient.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _ambient.ctx = prev

@@ -17,24 +17,30 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from pathlib import Path
 
 __all__ = ["EventLog", "read_trace"]
 
+#: in-memory mode keeps only the most recent records, so a long
+#: metrics-only run (e.g. a whole test suite under REPRO_OBS=1) cannot
+#: grow without bound
+MAX_BUFFERED_RECORDS = 65536
+
 
 class EventLog:
-    """Append-only JSONL writer (or in-memory buffer when ``path`` is None)."""
+    """Append-only JSONL writer (or bounded in-memory buffer when ``path`` is None)."""
 
     def __init__(self, path: str | Path | None = None):
         self.path = Path(path) if path is not None else None
         self._t0 = time.perf_counter()
-        self._records: list[dict] | None = None
+        self._records: deque[dict] | None = None
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("w", encoding="utf-8")
         else:
             self._fh = None
-            self._records = []
+            self._records = deque(maxlen=MAX_BUFFERED_RECORDS)
 
     def emit(self, record: dict) -> None:
         record.setdefault("ts", round(time.perf_counter() - self._t0, 6))
@@ -55,6 +61,11 @@ class EventLog:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    @property
+    def closed(self) -> bool:
+        """True once a file-backed log has been closed (in-memory: False)."""
+        return self.path is not None and self._fh is None
 
 
 def _jsonable(value):

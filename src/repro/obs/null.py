@@ -11,6 +11,8 @@ whether the ``repro.obs`` package exists or not.
 
 from __future__ import annotations
 
+from .decision import NULL_DECISION, NullDecision
+
 __all__ = ["NullObserver", "NullSpan", "NULL_OBSERVER", "NULL_SPAN"]
 
 
@@ -18,6 +20,9 @@ class NullSpan:
     """A reusable do-nothing span (context manager)."""
 
     __slots__ = ()
+
+    #: disabled spans belong to no trace
+    context = None
 
     def __enter__(self) -> NullSpan:
         return self
@@ -54,8 +59,20 @@ class NullObserver:
     def span(self, name: str, **attrs) -> NullSpan:
         return NULL_SPAN
 
+    def root_span(self, name: str, **attrs) -> NullSpan:
+        return NULL_SPAN
+
     def event(self, kind: str, **fields) -> None:
         pass
+
+    def decision(self, **fields) -> NullDecision:
+        return NULL_DECISION
+
+    def explain(self, request_id: int) -> None:
+        return None
+
+    def current_context(self) -> None:
+        return None
 
     def flush(self) -> None:
         pass

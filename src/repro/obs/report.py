@@ -83,12 +83,15 @@ def summarize_trace(records: list[dict]) -> dict:
     """Aggregate raw trace records.
 
     Returns ``{"spans": {name: {count, total, mean, max}}, "events":
-    {event: count}, "counters": ..., "gauges": ..., "histograms": ...}``.
-    Metric lines later in the trace supersede earlier ones (flush writes
-    a full snapshot each time).
+    {event: count}, "decisions": {outcome: count}, "traces": n,
+    "counters": ..., "gauges": ..., "histograms": ...}``.  Metric lines
+    later in the trace supersede earlier ones (flush writes a full
+    snapshot each time).
     """
     spans: dict[str, dict] = {}
     events: dict[str, int] = {}
+    decisions: dict[str, int] = {}
+    trace_ids: set[str] = set()
     counters: dict[str, dict[str, float]] = {}
     gauges: dict[str, dict[str, float]] = {}
     histograms: dict[str, dict[str, dict]] = {}
@@ -101,9 +104,14 @@ def summarize_trace(records: list[dict]) -> dict:
             agg["count"] += 1
             agg["total"] += rec.get("dur", 0.0)
             agg["max"] = max(agg["max"], rec.get("dur", 0.0))
+            if rec.get("trace"):
+                trace_ids.add(rec["trace"])
         elif kind == "event":
             name = rec.get("event", "?")
             events[name] = events.get(name, 0) + 1
+        elif kind == "decision":
+            outcome = rec.get("outcome", "unknown")
+            decisions[outcome] = decisions.get(outcome, 0) + 1
         elif kind == "metric":
             target = {"counter": counters, "gauge": gauges, "histogram": histograms}[
                 rec["metric"]
@@ -115,6 +123,8 @@ def summarize_trace(records: list[dict]) -> dict:
     return {
         "spans": spans,
         "events": events,
+        "decisions": decisions,
+        "traces": len(trace_ids),
         "counters": counters,
         "gauges": gauges,
         "histograms": histograms,
@@ -145,6 +155,14 @@ def render_trace(path: str | Path) -> str:
     if summary["events"]:
         rows = sorted(summary["events"].items())
         parts.append("== events ==\n" + _table(rows, ("event", "count")))
+    if summary.get("decisions"):
+        rows = sorted(summary["decisions"].items())
+        parts.append(
+            "== decisions ==\n" + _table(rows, ("outcome", "count"))
+            + "\n(use scripts/obs_trace.py explain <request_id> for details)"
+        )
+    if summary.get("traces"):
+        parts.append(f"distinct traces: {summary['traces']}")
     parts.append(
         render_snapshot(
             {

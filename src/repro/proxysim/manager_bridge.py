@@ -27,6 +27,7 @@ from ..economy.bank import Bank
 from ..manager.grm import GlobalResourceManager
 from ..manager.messages import AllocationGrant, AllocationRequestMsg, AvailabilityBatch
 from ..manager.transport import InProcessTransport
+from ..obs import get_observer
 from .redirect import RedirectPolicy
 
 __all__ = ["ManagerPolicy", "bank_for_structure"]
@@ -70,49 +71,59 @@ class ManagerPolicy(RedirectPolicy):
         self.grm = GlobalResourceManager("grm", self.bank)
         self.grm.attach(self.transport)
         self.messages = 0
+        #: msg_id of the most recent allocation request — the key for
+        #: ``repro.obs.explain`` against the decision flight recorder
+        self.last_request_id: int | None = None
 
     def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
-        # One batched availability refresh for all proxies.
-        self.transport.send(
-            "grm",
-            AvailabilityBatch(
-                sender=self.principals[requester],
-                resource_type="general",
-                reports=tuple(
-                    (principal, float(avail[k]))
-                    for k, principal in enumerate(self.principals)
+        # The whole consultation — availability batch, request, possible
+        # re-request — is one trace rooted here (unless an outer span,
+        # e.g. a proxysim consult, already opened one).
+        obs = get_observer()
+        with obs.span(
+            "manager.plan",
+            requester=self.principals[requester],
+            excess=float(excess),
+        ):
+            # One batched availability refresh for all proxies.
+            self.transport.send(
+                "grm",
+                AvailabilityBatch(
+                    sender=self.principals[requester],
+                    resource_type="general",
+                    reports=tuple(
+                        (principal, float(avail[k]))
+                        for k, principal in enumerate(self.principals)
+                    ),
                 ),
-            ),
-        )
-        reply = self.transport.send(
-            "grm",
-            AllocationRequestMsg(
+            )
+            request = AllocationRequestMsg(
                 sender=self.principals[requester],
                 principal=self.principals[requester],
                 amount=float(excess),
                 level=self.level,
-            ),
-        )
-        if not isinstance(reply, AllocationGrant):
-            # The GRM uses request/deny semantics; an overloaded proxy
-            # re-requests what the denial quoted as available.
-            available = getattr(reply, "available", 0.0)
-            if available > 1e-9:
-                reply = self.transport.send(
-                    "grm",
-                    AllocationRequestMsg(
+            )
+            self.last_request_id = request.msg_id
+            reply = self.transport.send("grm", request)
+            if not isinstance(reply, AllocationGrant):
+                # The GRM uses request/deny semantics; an overloaded proxy
+                # re-requests what the denial quoted as available.
+                available = getattr(reply, "available", 0.0)
+                if available > 1e-9:
+                    retry = AllocationRequestMsg(
                         sender=self.principals[requester],
                         principal=self.principals[requester],
                         amount=float(available) * (1 - 1e-9),
                         level=self.level,
-                    ),
-                )
-        self.messages = self.transport.delivered
-        self.lp_solves = self.grm.requests_served + self.grm.requests_denied
-        take = np.zeros(self.n)
-        if isinstance(reply, AllocationGrant):
-            for principal, amount in reply.takes:
-                take[self._pindex[principal]] = amount
-        # Denials and any unplaced remainder stay local.
-        take[requester] += max(excess - take.sum(), 0.0)
-        return take
+                    )
+                    self.last_request_id = retry.msg_id
+                    reply = self.transport.send("grm", retry)
+            self.messages = self.transport.delivered
+            self.lp_solves = self.grm.requests_served + self.grm.requests_denied
+            take = np.zeros(self.n)
+            if isinstance(reply, AllocationGrant):
+                for principal, amount in reply.takes:
+                    take[self._pindex[principal]] = amount
+            # Denials and any unplaced remainder stay local.
+            take[requester] += max(excess - take.sum(), 0.0)
+            return take

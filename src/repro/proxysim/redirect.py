@@ -23,6 +23,8 @@ from ..allocation.endpoint import allocate_endpoint
 from ..allocation.greedy import allocate_greedy
 from ..allocation.lp_allocator import allocate_lp
 from ..errors import SimulationError
+from ..obs import get_observer
+from ..obs.decision import next_request_id
 
 __all__ = [
     "RedirectPolicy",
@@ -103,15 +105,37 @@ class LPPolicy(_SystemPolicy):
     def plan(self, requester: int, excess: float, avail: np.ndarray) -> np.ndarray:
         live = self._live(avail)
         self.lp_solves += 1
-        allocation = allocate_lp(
-            live,
-            live.principals[requester],
-            excess,
-            level=self.level,
-            formulation=self.formulation,
-            backend=self.backend,
-            partial=True,
-        )
+        principal = live.principals[requester]
+        obs = get_observer()
+        # Direct policy calls bypass the GRM, so they feed the flight
+        # recorder themselves (negative synthetic request ids — there is
+        # no message id to key on).
+        with obs.decision(
+            request_id=next_request_id(),
+            requestor=principal,
+            amount=float(excess),
+            scheme="lp-direct",
+        ) as dec:
+            allocation = allocate_lp(
+                live,
+                principal,
+                excess,
+                level=self.level,
+                formulation=self.formulation,
+                backend=self.backend,
+                partial=True,
+            )
+            if obs.enabled:
+                dec.set(
+                    outcome="granted",
+                    granted=float(allocation.satisfied),
+                    takes=tuple(
+                        (p, float(t))
+                        for p, t in zip(live.principals, allocation.take)
+                        if t > 1e-12
+                    ),
+                    theta=float(allocation.theta),
+                )
         take = allocation.take.copy()
         # Anything the agreements cannot place stays local.
         take[requester] += max(excess - allocation.satisfied, 0.0)

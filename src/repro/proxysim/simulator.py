@@ -144,7 +144,13 @@ class ProxySimulation:
         return avail
 
     def _consult(self, proxy: int, now: float) -> None:
-        """Ask the scheduler to shed this proxy's excess queued work."""
+        """Ask the scheduler to shed this proxy's excess queued work.
+
+        Each consultation roots its *own* trace (``root_span``): the
+        simulation run contains thousands of them, and head-based
+        sampling has to pick requests independently rather than ride the
+        run-level span's fate.
+        """
         cfg = self.config
         queue = self.queues[proxy]
         excess = queue.backlog - cfg.threshold / 2.0
@@ -153,7 +159,10 @@ class ProxySimulation:
         avail = self._availability(now)
         avail[proxy] = 0.0  # the requester is consulting because it has none
         self.result.scheduler_consults += 1
-        take = self.policy.plan(proxy, excess, avail)
+        with get_observer().root_span(
+            "proxysim.consult", proxy=proxy, sim_time=now, excess=float(excess)
+        ):
+            take = self.policy.plan(proxy, excess, avail)
         for donor in np.argsort(-take):
             donor = int(donor)
             if donor == proxy or take[donor] <= 1e-9:

@@ -1,0 +1,91 @@
+"""Trace context must survive the DES scheduling boundary.
+
+An event's callback runs from the engine loop, where the Python call
+stack no longer connects it to whoever scheduled it.  The engine
+captures the scheduler's trace context on the Event and restores it
+around the callback, so spans opened inside the callback join the
+scheduling trace.
+"""
+
+import repro.obs as obs
+from repro.des.engine import Engine
+
+
+def test_event_callback_joins_scheduling_trace():
+    seen = {}
+
+    try:
+        observer = obs.enable()
+        engine = Engine()
+
+        def fired():
+            with observer.span("work.inside_event") as sp:
+                seen["ctx"] = sp.context
+
+        with observer.root_span("request.origin") as origin:
+            scheduling_trace = origin.context.trace_id
+            engine.schedule(1.0, fired)
+        engine.run()
+    finally:
+        obs.disable()
+
+    assert seen["ctx"].trace_id == scheduling_trace
+
+
+def test_events_scheduled_outside_any_span_stay_untraced():
+    seen = {}
+
+    try:
+        observer = obs.enable()
+        engine = Engine()
+
+        def fired():
+            with observer.span("work.inside_event") as sp:
+                seen["ctx"] = sp.context
+
+        engine.schedule(1.0, fired)  # no enclosing span, no ambient ctx
+        engine.run()
+    finally:
+        obs.disable()
+
+    # The span minted a fresh root trace rather than inheriting garbage.
+    assert seen["ctx"].parent_id is None
+
+
+def test_disabled_observer_schedules_without_context():
+    obs.disable()
+    engine = Engine()
+    fired = []
+    ev = engine.schedule(1.0, lambda: fired.append(True))
+    assert ev.ctx is None
+    engine.run()
+    assert fired == [True]
+
+
+def test_two_requests_keep_distinct_traces():
+    """Interleaved events from two requests must not cross-contaminate."""
+    seen = {}
+
+    try:
+        observer = obs.enable()
+        engine = Engine()
+
+        def make(name):
+            def fired():
+                with observer.span(f"work.{name}") as sp:
+                    seen[name] = sp.context.trace_id
+            return fired
+
+        with observer.root_span("request.a") as a:
+            trace_a = a.context.trace_id
+            engine.schedule(2.0, make("a"))
+        with observer.root_span("request.b") as b:
+            trace_b = b.context.trace_id
+            engine.schedule(1.0, make("b"))  # fires first
+        engine.run()
+    finally:
+        obs.disable()
+
+    assert trace_a != trace_b
+    assert seen["a"] == trace_a
+    assert seen["b"] == trace_b

@@ -1,0 +1,138 @@
+"""Unit tests for the allocation flight recorder."""
+
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.decision import (
+    NULL_DECISION,
+    DecisionRecord,
+    FlightRecorder,
+    current_decision,
+    next_request_id,
+)
+
+
+class TestDecisionRecord:
+    def test_from_fields_routes_unknown_keys_to_extra(self):
+        rec = DecisionRecord.from_fields(
+            {"request_id": 7, "outcome": "granted", "multigrid_rounds": 3}
+        )
+        assert rec.request_id == 7
+        assert rec.extra == {"multigrid_rounds": 3}
+        assert rec.to_dict()["multigrid_rounds"] == 3
+
+    def test_to_dict_omits_empty_optionals(self):
+        d = DecisionRecord(request_id=1).to_dict()
+        assert d["kind"] == "decision"
+        assert "reason" not in d and "lp_backend" not in d
+        d2 = DecisionRecord(request_id=1, reason="no capacity").to_dict()
+        assert d2["reason"] == "no capacity"
+
+
+class TestFlightRecorder:
+    def test_ring_bound_evicts_oldest(self):
+        fr = FlightRecorder(capacity=4)
+        for i in range(6):
+            fr.record(DecisionRecord(request_id=i))
+        assert len(fr) == 4
+        assert fr.explain(0) is None and fr.explain(1) is None
+        assert fr.explain(2) is not None and fr.explain(5) is not None
+
+    def test_explain_returns_most_recent(self):
+        fr = FlightRecorder()
+        fr.record(DecisionRecord(request_id=9, outcome="denied"))
+        fr.record(DecisionRecord(request_id=9, outcome="granted"))
+        assert fr.explain(9).outcome == "granted"
+
+    def test_export_jsonl(self, tmp_path):
+        fr = FlightRecorder()
+        fr.record(DecisionRecord(request_id=1, outcome="granted", granted=2.0))
+        fr.record(DecisionRecord(request_id=2, outcome="denied"))
+        path = tmp_path / "decisions.jsonl"
+        assert fr.export_jsonl(path) == 2
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [x["request_id"] for x in lines] == [1, 2]
+        assert all(x["kind"] == "decision" for x in lines)
+
+
+class TestDecisionBuilder:
+    def test_nested_layers_attach_via_current_decision(self, observer):
+        assert current_decision() is None
+        with observer.decision(request_id=5, requestor="p0") as dec:
+            assert current_decision() is dec
+            # ...deep in the allocator:
+            current_decision().set(lp_backend="scipy", lp_iterations=4)
+            dec.set(outcome="granted", granted=1.5)
+        assert current_decision() is None
+        rec = observer.explain(5)
+        assert rec.lp_backend == "scipy"
+        assert rec.lp_iterations == 4
+        assert rec.outcome == "granted"
+
+    def test_exception_marks_error_outcome(self, observer):
+        with pytest.raises(ValueError):
+            with observer.decision(request_id=6, requestor="p1"):
+                raise ValueError("solver exploded")
+        rec = observer.explain(6)
+        assert rec.outcome == "error"
+        assert "solver exploded" in rec.reason
+
+    def test_builders_nest(self, observer):
+        with observer.decision(request_id=7) as outer:
+            with observer.decision(request_id=8) as inner:
+                assert current_decision() is inner
+            assert current_decision() is outer
+        assert observer.explain(7) is not None
+        assert observer.explain(8) is not None
+
+    def test_counter_tracks_outcomes(self, observer):
+        with observer.decision(request_id=10) as dec:
+            dec.set(outcome="granted")
+        with observer.decision(request_id=11) as dec:
+            dec.set(outcome="denied")
+        counters = observer.registry.snapshot()["counters"]["decision.recorded"]
+        assert counters["outcome=granted"] == 1
+        assert counters["outcome=denied"] == 1
+
+    def test_decision_exported_to_trace(self, traced_observer):
+        observer, path = traced_observer
+        with observer.decision(request_id=12, requestor="p2") as dec:
+            dec.set(outcome="granted", granted=3.0, takes=(("p3", 3.0),))
+        obs.disable()
+        records = [json.loads(x) for x in path.read_text().splitlines()]
+        decisions = [r for r in records if r.get("kind") == "decision"]
+        assert len(decisions) == 1
+        assert decisions[0]["request_id"] == 12
+        assert decisions[0]["takes"] == [["p3", 3.0]]
+
+    def test_sampled_out_decision_kept_in_ring_not_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        try:
+            observer = obs.enable(trace_path=path, sample=0.0)
+            with observer.root_span("request"):
+                with observer.decision(request_id=13) as dec:
+                    dec.set(outcome="granted")
+            assert observer.explain(13) is not None  # ring: always on
+            obs.disable()
+            kinds = [
+                json.loads(x).get("kind") for x in path.read_text().splitlines()
+            ]
+            assert "decision" not in kinds and "span" not in kinds
+        finally:
+            obs.disable()
+
+
+class TestDisabledPath:
+    def test_null_observer_decision_is_null(self):
+        obs.disable()
+        null = obs.get_observer()
+        with null.decision(request_id=1) as dec:
+            assert dec is NULL_DECISION
+            dec.set(outcome="granted")  # no-op, must not raise
+        assert null.explain(1) is None
+
+    def test_synthetic_ids_negative_and_unique(self):
+        a, b = next_request_id(), next_request_id()
+        assert a < 0 and b < 0 and a != b

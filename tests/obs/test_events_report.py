@@ -95,6 +95,52 @@ class TestRendering:
         assert "no metrics" in render_snapshot({})
 
 
+class TestDecisionReporting:
+    def _record_decisions(self, observer):
+        with observer.decision(request_id=1, requestor="p0") as dec:
+            dec.set(outcome="granted", granted=2.0)
+        with observer.decision(request_id=2, requestor="p1") as dec:
+            dec.set(outcome="denied", reason="no capacity")
+
+    def test_summarize_counts_outcomes(self, traced_observer):
+        observer, path = traced_observer
+        self._record_decisions(observer)
+        observer.flush()
+        summary = summarize_trace(read_trace(path))
+        assert summary["decisions"] == {"granted": 1, "denied": 1}
+
+    def test_render_trace_shows_decisions_table(self, traced_observer):
+        observer, path = traced_observer
+        self._record_decisions(observer)
+        observer.flush()
+        text = render_trace(path)
+        assert "== decisions ==" in text
+        assert "granted" in text and "denied" in text
+        assert "obs_trace.py explain" in text
+
+    def test_distinct_trace_count(self, traced_observer):
+        observer, path = traced_observer
+        with observer.root_span("req.a"):
+            pass
+        with observer.root_span("req.b"):
+            pass
+        observer.flush()
+        assert summarize_trace(read_trace(path))["traces"] == 2
+
+    def test_cli_json_includes_decisions(self, traced_observer):
+        observer, path = traced_observer
+        self._record_decisions(observer)
+        observer.flush()
+        proc = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "scripts" / "obs_report.py"),
+             str(path), "--json"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        summary = json.loads(proc.stdout)
+        assert summary["decisions"] == {"granted": 1, "denied": 1}
+
+
 class TestReportScript:
     def test_cli_renders_trace(self, traced_observer, tmp_path):
         observer, path = traced_observer

@@ -1,0 +1,70 @@
+"""Observer lifecycle: enable / re-enable / disable semantics.
+
+The observer is process-global; long-lived processes (notebooks, the DES
+driver) re-enable it between experiments, so re-enabling must never lose
+data already recorded to the previous trace, and must hand out a fresh
+observer rather than mutating the old one.
+"""
+
+import json
+
+import repro.obs as obs
+from repro.obs.null import NULL_OBSERVER
+
+
+def _read_jsonl(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+def test_reenable_flushes_and_closes_previous_trace(tmp_path):
+    first_path = tmp_path / "first.jsonl"
+    second_path = tmp_path / "second.jsonl"
+    try:
+        first = obs.enable(trace_path=first_path)
+        with first.span("phase.one"):
+            pass
+
+        second = obs.enable(trace_path=second_path)
+        assert second is not first
+        assert obs.get_observer() is second
+
+        # The first trace was flushed and closed on re-enable: its span
+        # and its final metric snapshot are on disk even though disable()
+        # was never called on it.
+        records = _read_jsonl(first_path)
+        assert any(
+            r["kind"] == "span" and r["name"] == "phase.one" for r in records
+        )
+        assert any(r["kind"] == "metric" for r in records)
+        assert first.events_log.closed
+
+        # The second observer starts fresh: no carried-over metrics.
+        assert second.registry.snapshot()["counters"] == {}
+        with second.span("phase.two"):
+            pass
+        obs.disable()
+        names = [r.get("name") for r in _read_jsonl(second_path)]
+        assert "phase.two" in names and "phase.one" not in names
+    finally:
+        obs.disable()
+
+
+def test_reenable_resets_flight_recorder(tmp_path):
+    try:
+        first = obs.enable()
+        with first.decision(request_id=1, requestor="p0") as dec:
+            dec.set(outcome="granted", granted=1.0)
+        assert obs.explain(1) is not None
+
+        obs.enable()  # fresh observer, fresh ring buffer
+        assert obs.explain(1) is None
+    finally:
+        obs.disable()
+
+
+def test_disable_is_idempotent_and_restores_null():
+    obs.disable()
+    obs.disable()
+    assert obs.get_observer() is NULL_OBSERVER
+    assert obs.report() == "(observability disabled)"
+    assert obs.explain(12345) is None
