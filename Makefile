@@ -2,13 +2,18 @@
 
 PY ?= python3
 
-.PHONY: install test bench experiments examples experiments-md clean
+.PHONY: install test bench experiments examples experiments-md lint clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	$(PY) -m pytest tests/
+
+lint:
+	$(PY) scripts/reprolint.py src
+	@command -v ruff >/dev/null 2>&1 && ruff check src tests benchmarks scripts || echo "ruff not installed; skipped"
+	@command -v mypy >/dev/null 2>&1 && mypy src/repro || echo "mypy not installed; skipped"
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,117 @@
+"""Invariant-sanitizer overhead on the GRM message path (allocations/sec).
+
+Runs the same ManagerPolicy workload as ``test_perf_obs_overhead.py``
+with the :mod:`repro.sanitize` hooks off and on, and records throughput
+to ``benchmarks/BENCH_sanitize_overhead.json``:
+
+- ``off`` — the default: every hook is a single predicate check, so the
+  hot path must stay within noise of itself (that is the asserted
+  contract — disabled sanitizing is free);
+- ``on`` — ``REPRO_SANITIZE=1`` semantics: allocation epilogues verify
+  take conservation, ``C' <= C`` and ``theta >= 0``; the GRM epilogue
+  additionally re-derives the bank's currency valuation to catch state
+  drift at a constant version.  This is a debug/CI configuration, so its
+  slowdown is *recorded* but only loosely bounded.
+
+Environment knobs:
+
+- ``REPRO_BENCH_SMOKE=1`` — tiny iteration count, no JSON append, no
+  ratio assertions.  CI uses this to guard that both modes run end to
+  end without depending on runner timing.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import sanitize
+from repro.agreements import complete_structure
+from repro.proxysim.manager_bridge import ManagerPolicy
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "BENCH_sanitize_overhead.json")
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+N_WARMUP = 1 if SMOKE else 20
+N_PLANS = 5 if SMOKE else 200
+#: disabled hooks must not cost anything measurable: two off runs
+#: bracketing the on run may differ only by timing noise
+MAX_OFF_DRIFT = 1.35
+#: the armed sanitizer re-solves the currency valuation per allocation;
+#: generous bound, this is a debug configuration
+MAX_ON_SLOWDOWN = 30.0
+
+
+def _drive(policy, n, seed):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        avail = rng.uniform(0.0, 100.0, size=len(policy.principals))
+        req = int(rng.integers(0, len(policy.principals)))
+        avail[req] = 0.0
+        policy.plan(req, float(rng.uniform(1.0, 20.0)), avail)
+
+
+def _measure() -> float:
+    """Allocations/sec of a fresh ManagerPolicy under the current gate."""
+    system = complete_structure(10, share=0.1)
+    policy = ManagerPolicy(system)
+    _drive(policy, N_WARMUP, seed=42)
+    start = time.perf_counter()
+    _drive(policy, N_PLANS, seed=7)
+    return N_PLANS / (time.perf_counter() - start)
+
+
+def test_sanitize_overhead():
+    prev = sanitize.enabled()
+    try:
+        sanitize.disable()
+        _measure()  # discard: pays one-time import/cache costs
+        ops_off_before = _measure()
+
+        sanitize.enable()
+        ops_on = _measure()
+
+        sanitize.disable()
+        ops_off_after = _measure()
+    finally:
+        if prev:
+            sanitize.enable()
+        else:
+            sanitize.disable()
+
+    if SMOKE:
+        # Smoke mode guards that both modes run end to end; the
+        # iteration count is too small for the ratios to mean much.
+        assert ops_off_before > 0 and ops_on > 0 and ops_off_after > 0
+        return
+
+    ops_off = max(ops_off_before, ops_off_after)
+    off_drift = max(ops_off_before, ops_off_after) / min(
+        ops_off_before, ops_off_after
+    )
+    on_slowdown = ops_off / ops_on
+
+    with open(BENCH_PATH) as fh:
+        record = json.load(fh)
+    record["entries"].append(
+        {
+            "label": "run",
+            "plans": N_PLANS,
+            "off_allocations_per_sec": round(ops_off, 1),
+            "on_allocations_per_sec": round(ops_on, 1),
+            "off_drift": round(off_drift, 3),
+            "on_slowdown": round(on_slowdown, 3),
+        }
+    )
+    with open(BENCH_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+
+    assert off_drift <= MAX_OFF_DRIFT, (
+        f"sanitizer-off runs drifted {off_drift:.2f}x apart "
+        f"(limit {MAX_OFF_DRIFT}x): disabled hooks must be free"
+    )
+    assert on_slowdown <= MAX_ON_SLOWDOWN, (
+        f"armed sanitizer costs {on_slowdown:.2f}x vs. off "
+        f"(limit {MAX_ON_SLOWDOWN}x)"
+    )

@@ -12,17 +12,22 @@ Edge attributes: ``share`` (relative fraction from ``S``) and ``grant``
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ..errors import AgreementError
 from .matrix import AgreementSystem
+
+if TYPE_CHECKING:  # networkx is an optional dependency
+    import networkx as nx
 
 __all__ = ["to_networkx", "from_networkx"]
 
 _TOL = 1e-12
 
 
-def to_networkx(system: AgreementSystem):
+def to_networkx(system: AgreementSystem) -> "nx.DiGraph":
     """Convert to a directed graph with share/grant edge attributes."""
     import networkx as nx
 
@@ -44,7 +49,7 @@ def to_networkx(system: AgreementSystem):
     return g
 
 
-def from_networkx(graph, *, flow_method: str = "dp") -> AgreementSystem:
+def from_networkx(graph: "nx.DiGraph", *, flow_method: str = "dp") -> AgreementSystem:
     """Rebuild an :class:`AgreementSystem` from a graph produced by
     :func:`to_networkx` (or hand-built with the same attributes).
 

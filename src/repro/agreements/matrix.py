@@ -28,7 +28,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from .topology import AgreementTopology, CapacityView
+
+if TYPE_CHECKING:
+    from ..economy.bank import Bank
 
 __all__ = ["AgreementSystem"]
 
@@ -64,7 +69,7 @@ class AgreementSystem:
         *,
         allow_overdraft: bool = False,
         flow_method: str = "dp",
-    ):
+    ) -> None:
         topology = AgreementTopology(
             principals, S, A, allow_overdraft=allow_overdraft, flow_method=flow_method
         )
@@ -84,7 +89,7 @@ class AgreementSystem:
     @classmethod
     def from_bank(
         cls,
-        bank,
+        bank: "Bank",
         resource_type: str = "general",
         *,
         allow_overdraft: bool = False,
@@ -163,12 +168,20 @@ class AgreementSystem:
         return self._view.flows(level)
 
     def u(self, level: int | None = None) -> np.ndarray:
-        """``U_ki`` — relative + absolute inflow clamped at donor capacity."""
-        return self._view.u(level)
+        """``U_ki`` — relative + absolute inflow clamped at donor capacity.
+
+        Copy-on-read: the view memoises ``(U, C)`` per level as frozen
+        arrays shared by every caller, so the facade hands out a private
+        writable copy instead of the cache entry itself.
+        """
+        return self._view.u(level).copy()
 
     def capacities(self, level: int | None = None) -> np.ndarray:
-        """Effective capacities ``C_i`` at the given transitivity level."""
-        return self._view.capacities(level)
+        """Effective capacities ``C_i`` at the given transitivity level.
+
+        Copy-on-read (see :meth:`u`).
+        """
+        return self._view.capacities(level).copy()
 
     def capacity_of(self, principal: str, level: int | None = None) -> float:
         """Effective capacity of one principal."""

@@ -33,7 +33,7 @@ def default_names(n: int, prefix: str = "isp") -> list[str]:
     return [f"{prefix}{i}" for i in range(n)]
 
 
-def _uniform_capacity(n: int, capacity) -> np.ndarray:
+def _uniform_capacity(n: int, capacity: float | Sequence[float]) -> np.ndarray:
     V = np.full(n, float(capacity)) if np.isscalar(capacity) else np.asarray(capacity, float)
     if V.shape != (n,):
         raise InvalidAgreementMatrixError(
@@ -45,7 +45,7 @@ def _uniform_capacity(n: int, capacity) -> np.ndarray:
 def complete_structure(
     n: int,
     share: float = 0.1,
-    capacity=1.0,
+    capacity: float | Sequence[float] = 1.0,
     names: Sequence[str] | None = None,
     **kwargs,
 ) -> AgreementSystem:
@@ -66,7 +66,7 @@ def loop_structure(
     n: int,
     share: float = 0.8,
     skip: int = 1,
-    capacity=1.0,
+    capacity: float | Sequence[float] = 1.0,
     names: Sequence[str] | None = None,
     **kwargs,
 ) -> AgreementSystem:
@@ -92,7 +92,7 @@ def sparse_structure(
     n: int,
     degree: int = 3,
     share_total: float = 0.3,
-    capacity=1.0,
+    capacity: float | Sequence[float] = 1.0,
     names: Sequence[str] | None = None,
     seed: int | None = 0,
     **kwargs,
@@ -122,7 +122,7 @@ def hierarchical_structure(
     group_size: int,
     intra_share_total: float = 0.5,
     inter_share: float = 0.05,
-    capacity=1.0,
+    capacity: float | Sequence[float] = 1.0,
     names: Sequence[str] | None = None,
     **kwargs,
 ) -> AgreementSystem:
@@ -164,7 +164,7 @@ def hierarchical_structure(
 def distance_decay_structure(
     n: int = 10,
     shares: Sequence[float] = (0.20, 0.10, 0.05, 0.03),
-    capacity=1.0,
+    capacity: float | Sequence[float] = 1.0,
     names: Sequence[str] | None = None,
     **kwargs,
 ) -> AgreementSystem:

@@ -32,6 +32,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..errors import InvalidAgreementMatrixError, OversharingError
 from . import flow as _flow
 
@@ -40,7 +41,7 @@ __all__ = ["AgreementTopology", "CapacityView"]
 _TOL = 1e-9
 
 
-def _clean_capacities(V, n: int) -> np.ndarray:
+def _clean_capacities(V: np.ndarray | Sequence[float], n: int) -> np.ndarray:
     """Validate and freeze a raw-capacity vector."""
     V = np.asarray(V, dtype=float).copy()
     if V.shape != (n,):
@@ -99,7 +100,7 @@ class AgreementTopology:
         *,
         allow_overdraft: bool = False,
         flow_method: str = "dp",
-    ):
+    ) -> None:
         self.principals = tuple(principals)
         self.n = len(self.principals)
         if len(set(self.principals)) != self.n:
@@ -171,7 +172,7 @@ class AgreementTopology:
             self._hash = hash(self._key())
         return self._hash
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if not isinstance(other, AgreementTopology):
@@ -204,6 +205,8 @@ class AgreementTopology:
             T = _flow.transitive_coefficients(self.S, m, self.flow_method)
             if self.allow_overdraft:
                 T = _flow.overdraft_clamp(T)
+            if _sanitize.enabled():
+                _sanitize.check_coefficients(T, self.allow_overdraft)
             T.flags.writeable = False
             self._t_cache[m] = T
         return T
@@ -250,7 +253,7 @@ class CapacityView:
 
     __slots__ = ("topology", "V", "_uc_cache")
 
-    def __init__(self, topology: AgreementTopology, V: np.ndarray):
+    def __init__(self, topology: AgreementTopology, V: np.ndarray) -> None:
         self.topology = topology
         self.V = _clean_capacities(V, topology.n)
         self._uc_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -299,6 +302,11 @@ class CapacityView:
         if pair is None:
             U = self.topology.u(self.V, m)
             C = _flow.capacities(self.V, U)
+            # Freeze before caching: every caller shares these arrays, so
+            # an in-place write would corrupt the memo for the rest of
+            # the epoch (reprolint R5 is the static half of this guard).
+            U.flags.writeable = False
+            C.flags.writeable = False
             pair = self._uc_cache[m] = (U, C)
         return pair
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..errors import InfeasibleAllocationError, InsufficientResourcesError
 from ..lp import LinearProgram
 from .lp_allocator import allocate_lp
@@ -127,4 +128,6 @@ def _result(system, request, take, cost, level) -> Allocation:
         principals=list(system.principals),
     )
     allocation.cost = cost
+    if _sanitize.enabled():
+        _sanitize.check_allocation(system.capacities(level), allocation)
     return allocation

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..errors import InsufficientResourcesError
 from .problem import Allocation, AllocationRequest
 
@@ -73,7 +74,7 @@ def allocate_endpoint(
     new_C = system.topology.capacities(new_V, 1)
     old_C = system.capacities(1)
     drops = np.delete(old_C - new_C, a)
-    return Allocation(
+    allocation = Allocation(
         request=request,
         take=take,
         theta=float(drops.max()) if drops.size else 0.0,
@@ -83,3 +84,6 @@ def allocate_endpoint(
         scheme="endpoint",
         principals=list(system.principals),
     )
+    if _sanitize.enabled():
+        _sanitize.check_allocation(old_C, allocation)
+    return allocation

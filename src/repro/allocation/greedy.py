@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..errors import InsufficientResourcesError
 from .problem import Allocation, AllocationRequest
 
@@ -60,7 +61,7 @@ def allocate_greedy(
     new_V = np.maximum(V - take, 0.0)
     new_C = system.topology.capacities(new_V, level)
     drops = np.delete(C - new_C, a)
-    return Allocation(
+    allocation = Allocation(
         request=request,
         take=take,
         theta=float(drops.max()) if drops.size else 0.0,
@@ -70,3 +71,6 @@ def allocate_greedy(
         scheme="greedy",
         principals=list(system.principals),
     )
+    if _sanitize.enabled():
+        _sanitize.check_allocation(C, allocation)
+    return allocation

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..agreements.matrix import AgreementSystem
 from ..errors import AllocationError, InsufficientResourcesError
 from ..obs import get_observer
@@ -236,7 +237,7 @@ def _finish(system, request, take, satisfied, level) -> Allocation:
     new_C = system.topology.capacities(new_V, level)
     a = system.index(request.principal)
     drops = np.delete(system.capacities(level) - new_C, a)
-    return Allocation(
+    allocation = Allocation(
         request=request,
         take=take,
         theta=float(drops.max()) if drops.size else 0.0,
@@ -246,3 +247,6 @@ def _finish(system, request, take, satisfied, level) -> Allocation:
         scheme="hierarchical",
         principals=list(system.principals),
     )
+    if _sanitize.enabled():
+        _sanitize.check_allocation(system.capacities(level), allocation)
+    return allocation

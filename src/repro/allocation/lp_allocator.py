@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..errors import (
     InfeasibleAllocationError,
     InsufficientResourcesError,
@@ -309,7 +310,7 @@ def _solve_faithful(n, a, x, V, U, T, C, objective, backend):
 
 def _make_result(system, request, take, theta, satisfied, level) -> Allocation:
     new_V = np.maximum(system.V - take, 0.0)
-    return Allocation(
+    allocation = Allocation(
         request=request,
         take=take,
         theta=theta,
@@ -319,3 +320,6 @@ def _make_result(system, request, take, theta, satisfied, level) -> Allocation:
         scheme="lp",
         principals=list(system.principals),
     )
+    if _sanitize.enabled():
+        _sanitize.check_allocation(system.capacities(level), allocation)
+    return allocation

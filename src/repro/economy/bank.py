@@ -29,7 +29,8 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from ..agreements.topology import AgreementTopology
+from .. import sanitize as _sanitize
+from ..agreements.topology import AgreementTopology, CapacityView
 from ..errors import (
     CurrencyCycleError,
     DuplicateNameError,
@@ -84,7 +85,10 @@ class Bank:
         return self._version
 
     def _bump_version(self) -> None:
+        prev = self._version
         self._version += 1
+        if _sanitize.enabled():
+            _sanitize.bank_mutated(self, prev)
 
     # -- registry ------------------------------------------------------------
 
@@ -233,7 +237,7 @@ class Bank:
     def _active_tickets(self) -> Iterable[Ticket]:
         return (t for t in self._tickets.values() if not t.revoked)
 
-    def _value_system(self):
+    def _value_system(self) -> tuple[list[str], np.ndarray, np.ndarray, list[str]]:
         """Build the linear valuation system.
 
         Returns ``(names, M, B, types)`` where values per resource type
@@ -322,7 +326,9 @@ class Bank:
 
     # -- export to the enforcement layer ------------------------------------------
 
-    def to_agreement_system(self, resource_type: str = "general"):
+    def to_agreement_system(
+        self, resource_type: str = "general"
+    ) -> tuple[list[str], np.ndarray, np.ndarray, np.ndarray]:
         """Flatten the funding graph into ``(principals, V, S, A)``.
 
         ``principals`` are the default currencies in creation order.  ``V``
@@ -476,7 +482,7 @@ class Bank:
         *,
         allow_overdraft: bool = False,
         flow_method: str = "dp",
-    ):
+    ) -> CapacityView:
         """A :class:`~repro.agreements.topology.CapacityView` of the bank's
         deposited capacities over the cached topology."""
         _, topology, V = self._flattened(resource_type, allow_overdraft, flow_method)

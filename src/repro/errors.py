@@ -30,6 +30,7 @@ __all__ = [
     "UnknownPrincipalError",
     "SimulationError",
     "WorkloadError",
+    "InvariantViolation",
 ]
 
 
@@ -162,3 +163,43 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Base class for workload-generation and trace-parsing errors."""
+
+
+# --------------------------------------------------------------------------
+# Runtime invariant sanitizer (REPRO_SANITIZE=1)
+# --------------------------------------------------------------------------
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant of the agreement economy does not hold.
+
+    Raised by the :mod:`repro.sanitize` epilogue hooks (active under
+    ``REPRO_SANITIZE=1``) when a check fails: ticket/currency value
+    conservation, overdraft clamp bounds, donor-split conservation,
+    ``C' <= C``, or bank-version monotonicity.  When an allocation
+    decision is in flight, the active
+    :class:`~repro.obs.decision.DecisionRecord` snapshot is attached as
+    :attr:`decision`, so the full request context (requestor, amount,
+    donor split, LP evidence) travels with the traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "",
+        details: dict | None = None,
+        decision=None,
+    ):
+        self.invariant = invariant
+        self.details = dict(details or {})
+        self.decision = decision
+        parts = [message]
+        if self.details:
+            rendered = ", ".join(f"{k}={v!r}" for k, v in self.details.items())
+            parts.append(f"[{rendered}]")
+        if decision is not None:
+            rid = getattr(decision, "request_id", None)
+            requestor = getattr(decision, "requestor", "")
+            parts.append(f"(decision: request_id={rid}, requestor={requestor!r})")
+        super().__init__(" ".join(parts))

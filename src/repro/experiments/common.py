@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..proxysim.config import SimulationConfig
+from ..units import approx_eq
 
 __all__ = ["ExperimentResult", "base_config", "mean_over_seeds"]
 
@@ -19,7 +20,7 @@ def base_config(scale: float = 25.0, **overrides) -> SimulationConfig:
     EXPERIMENTS.md for how this preserves figure shapes).  ``scale=1`` is
     the paper's own parameters (slow in pure Python).
     """
-    if scale == 1.0:
+    if approx_eq(scale, 1.0):
         return SimulationConfig.paper(**overrides)
     return SimulationConfig.scaled(scale=scale, **overrides)
 

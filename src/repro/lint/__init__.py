@@ -1,0 +1,47 @@
+"""reprolint — domain-aware static analysis for the agreement economy.
+
+The generic linters (ruff, mypy) cannot see the invariants this codebase
+actually lives on: that every :class:`~repro.economy.bank.Bank` mutation
+bumps the version its caches key on, that the GRM/LRM message protocol
+is closed, that DES-managed code never reads the wall clock, that LP
+outputs are never compared with ``==``, and that arrays handed out by
+the topology/view caches are never written in place.  This package
+checks exactly those, over the AST, with per-line suppressions
+(``# reprolint: disable=R1``) and a committed baseline for incremental
+adoption.  Entry points: ``scripts/reprolint.py`` and ``make lint``.
+
+Rules
+-----
+
+- **R1** ``version-bump`` — mutating public methods of versioned classes
+  must call ``self._bump_version()``.
+- **R2** ``protocol-exhaustiveness`` — ``manager/messages.py`` classes
+  and ``handle()`` isinstance matches must cover each other.
+- **R3** ``sim-time-purity`` — no ``time.time``/``datetime.now``/
+  unseeded randomness in DES-managed code.
+- **R4** ``float-equality`` — no ``==``/``!=`` on float capacity/theta
+  quantities; use :func:`repro.units.approx_eq`.
+- **R5** ``cache-aliasing`` — no in-place mutation of arrays returned by
+  ``topology()``/``capacity_view()`` caches.
+
+The runtime counterpart of these checks is :mod:`repro.sanitize`
+(``REPRO_SANITIZE=1``), which asserts the same invariants on live values
+in allocator/bank epilogues.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import LintModule, Rule, default_rules, run_lint
+from .findings import Finding
+from .suppress import parse_suppressions
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintModule",
+    "Rule",
+    "default_rules",
+    "parse_suppressions",
+    "run_lint",
+]

@@ -1,0 +1,111 @@
+"""The committed baseline: known findings that do not fail the build.
+
+Incremental adoption needs a ratchet, not a flag day: the baseline file
+records every finding present when a rule landed, new findings fail the
+build, and entries are deleted as the debt is paid down.  Entries are
+keyed by ``(rule, path, stripped line text, occurrence index)`` rather
+than line numbers, so unrelated edits to a file do not invalidate them.
+
+Each entry may carry a human ``justification``; the acceptance bar for
+this repository is an *empty* baseline or one where every entry is
+justified.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A set of accepted finding fingerprints, loaded from / saved to JSON."""
+
+    def __init__(self, entries: list[dict[str, object]] | None = None) -> None:
+        self.entries: list[dict[str, object]] = list(entries or [])
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {data.get('version')!r} in {path}"
+            )
+        return cls(data.get("entries", []))
+
+    def save(self, path: str | Path) -> None:
+        data = {"version": FORMAT_VERSION, "entries": self.entries}
+        Path(path).write_text(
+            json.dumps(data, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries = [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "text": f.text,
+                "index": f.index,
+            }
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ]
+        return cls(entries)
+
+    # -- matching -----------------------------------------------------------
+
+    def _fingerprints(self) -> set[tuple[str, str, str, int]]:
+        out: set[tuple[str, str, str, int]] = set()
+        for e in self.entries:
+            out.add(
+                (
+                    str(e.get("rule", "")),
+                    str(e.get("path", "")),
+                    str(e.get("text", "")),
+                    int(e.get("index", 0) or 0),
+                )
+            )
+        return out
+
+    def filter(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict[str, object]]]:
+        """Split findings into (new, baselined) and report stale entries.
+
+        Stale entries are baseline records whose finding no longer occurs
+        — paid-down debt that should be deleted from the file.
+        """
+        prints = self._fingerprints()
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        seen: set[tuple[str, str, str, int]] = set()
+        for f in findings:
+            fp = f.fingerprint()
+            if fp in prints:
+                matched.append(f)
+                seen.add(fp)
+            else:
+                new.append(f)
+        stale = [
+            e
+            for e in self.entries
+            if (
+                str(e.get("rule", "")),
+                str(e.get("path", "")),
+                str(e.get("text", "")),
+                int(e.get("index", 0) or 0),
+            )
+            not in seen
+        ]
+        return new, matched, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+__all__ = ["Baseline", "FORMAT_VERSION"]

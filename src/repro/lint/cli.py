@@ -1,0 +1,142 @@
+"""The ``reprolint`` command line.
+
+::
+
+    python scripts/reprolint.py src/                 # lint, exit 1 on findings
+    python scripts/reprolint.py src/ --write-baseline  # accept current debt
+    python scripts/reprolint.py --list-rules
+
+Exit codes: 0 clean (or all findings baselined), 1 new findings, 2 bad
+invocation.  The baseline (default ``reprolint-baseline.json`` next to
+the current directory, when present) absorbs known findings; stale
+entries are reported so paid-down debt gets deleted from the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .baseline import Baseline
+from .engine import default_rules, run_lint
+from .findings import Finding
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="directory paths are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def _print_findings(findings: list[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+            if f.text:
+                print(f"    {f.text}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id}  {rule.name}")
+            print(f"    {rule.description}")
+        return 0
+
+    root = Path(args.root) if args.root else Path.cwd()
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"reprolint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    select = (
+        {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        if args.select
+        else None
+    )
+
+    findings = run_lint(paths, root=root, select=select)
+
+    baseline_path = Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    if args.write_baseline:
+        Baseline.from_findings(findings).save(baseline_path)
+        print(
+            f"reprolint: wrote {len(findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+
+    matched_count = 0
+    if not args.no_baseline and baseline_path.exists():
+        baseline = Baseline.load(baseline_path)
+        findings, matched, stale = baseline.filter(findings)
+        matched_count = len(matched)
+        for entry in stale:
+            print(
+                "reprolint: stale baseline entry (finding no longer occurs): "
+                f"{entry.get('rule')} {entry.get('path')} {entry.get('text')!r}",
+                file=sys.stderr,
+            )
+
+    _print_findings(findings, args.format)
+    if findings:
+        print(
+            f"reprolint: {len(findings)} finding(s)"
+            + (f" ({matched_count} baselined)" if matched_count else ""),
+            file=sys.stderr,
+        )
+        return 1
+    suffix = f" ({matched_count} baselined)" if matched_count else ""
+    print(f"reprolint: clean{suffix}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

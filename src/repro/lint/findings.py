@@ -1,0 +1,68 @@
+"""Finding: one rule violation at one source location.
+
+Findings identify themselves two ways.  The *location* (path, line, col)
+is what humans and editors want.  The *fingerprint* — ``(rule, path,
+stripped line text, occurrence index)`` — is what the baseline stores:
+it survives unrelated edits that shift line numbers, and the occurrence
+index disambiguates identical lines (two ``x == 0.5`` on different
+lines of one file baseline independently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: the stripped source line, for fingerprinting and display
+    text: str = ""
+    #: occurrence index among findings sharing (rule, path, text);
+    #: assigned by the engine after collection
+    index: int = 0
+
+    def key(self) -> tuple[str, str, str]:
+        """The fingerprint key shared by identical findings in a file."""
+        return (self.rule, self.path, self.text)
+
+    def fingerprint(self) -> tuple[str, str, str, int]:
+        return (self.rule, self.path, self.text, self.index)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "text": self.text,
+            "index": self.index,
+        }
+
+
+def assign_indices(findings: list[Finding]) -> list[Finding]:
+    """Number findings sharing a fingerprint key in line order."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[Finding] = []
+    for f in ordered:
+        idx = seen.get(f.key(), 0)
+        seen[f.key()] = idx + 1
+        out.append(replace(f, index=idx) if f.index != idx else f)
+    return out
+
+
+__all__ = ["Finding", "assign_indices"]

@@ -1,0 +1,111 @@
+"""R4 — no exact equality on float capacity/theta quantities.
+
+Capacities, thetas, takes and availabilities are products of LP solves
+and dense linear algebra; comparing them with ``==``/``!=`` encodes an
+assumption of exactness that scipy does not provide and that breaks
+across BLAS builds.  The rule fires when either side of an ``==``/``!=``
+is (a) an expression whose terminal identifier is a known float-domain
+name (``theta``, ``capacities``, ``granted``, ...) or (b) a non-zero
+float literal.  Use :func:`repro.units.approx_eq` or
+``math.isclose``/``numpy.isclose`` instead.
+
+Deliberately exempt:
+
+- comparisons against a literal zero (``S[i, j] != 0.0``) — the exact-
+  zero *sparsity* idiom: structural zeros are created by assignment, not
+  arithmetic, so exact comparison is correct and fast there;
+- comparisons involving strings, booleans or ``None`` (identity-style
+  dispatch, not float math).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import terminal_name
+from .engine import LintModule, Rule
+from .findings import Finding
+
+#: identifiers treated as float capacity/theta domain values
+DOMAIN_NAMES = frozenset(
+    {
+        "theta", "capacity", "capacities", "cap", "caps",
+        "avail", "available", "availability",
+        "granted", "satisfied", "face_value", "excess", "backlog",
+        "take", "takes", "drop", "drops",
+    }
+)
+
+
+def _is_non_numeric_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and (
+        node.value is None or isinstance(node.value, (str, bool))
+    )
+
+
+def _is_nonzero_float(node: ast.expr) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value != 0.0
+    )
+
+
+def _is_domain(node: ast.expr) -> bool:
+    name = terminal_name(node)
+    return name is not None and name.lower() in DOMAIN_NAMES
+
+
+class FloatEqualityRule(Rule):
+    id = "R4"
+    name = "float-equality"
+    description = (
+        "no ==/!= on float capacity/theta/availability values; use "
+        "repro.units.approx_eq or numpy.isclose (exact-zero sparsity "
+        "checks are exempt)"
+    )
+
+    def check(self, module: LintModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            for op, right in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)):
+                    finding = self._check_pair(module, node, left, right)
+                    if finding is not None:
+                        findings.append(finding)
+                        break  # one finding per compare chain
+                left = right
+        return findings
+
+    def _check_pair(
+        self,
+        module: LintModule,
+        node: ast.Compare,
+        left: ast.expr,
+        right: ast.expr,
+    ) -> Finding | None:
+        if _is_non_numeric_constant(left) or _is_non_numeric_constant(right):
+            return None
+        # A non-domain expression against a literal zero is the sparsity
+        # idiom (structural zeros compare exactly); domain names fire
+        # even against zero — an LP's theta is never exactly 0.0.
+        domain = _is_domain(left) or _is_domain(right)
+        float_literal = _is_nonzero_float(left) or _is_nonzero_float(right)
+        if not (domain or float_literal):
+            return None
+        subject = terminal_name(left) or terminal_name(right) or "value"
+        return module.finding(
+            self,
+            node,
+            f"exact ==/!= on float quantity {subject!r}; use "
+            f"repro.units.approx_eq (or numpy.isclose) with an explicit "
+            f"tolerance",
+        )
+
+
+__all__ = ["FloatEqualityRule", "DOMAIN_NAMES"]

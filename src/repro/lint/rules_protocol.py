@@ -1,0 +1,155 @@
+"""R2 — GRM/LRM protocol exhaustiveness.
+
+The manager protocol is closed over ``manager/messages.py``: every
+:class:`Message` subclass defined there must be *consumed* somewhere in
+the manager package — matched by an ``isinstance`` check inside a
+``handle`` method, or constructed as a reply — and every type a
+``handle`` method matches must be a known message class.  A subclass
+nobody handles is a message that silently dead-letters at runtime (the
+GRM raises ``ManagerError`` only after the unknown message has crossed
+the transport); an ``isinstance`` against an unknown name is a handler
+for a message that cannot arrive.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+from .engine import LintModule, Rule
+from .findings import Finding
+
+#: the abstract base; excluded from the exhaustiveness contract
+_BASE = "Message"
+
+
+@dataclass
+class _Protocol:
+    """One ``messages.py`` module plus its surrounding package."""
+
+    messages_module: LintModule
+    #: message class name -> defining ClassDef
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    package_modules: list[LintModule] = field(default_factory=list)
+
+
+def _message_classes(module: LintModule) -> dict[str, ast.ClassDef]:
+    """Classes deriving (transitively, within the file) from Message."""
+    known = {_BASE}
+    out: dict[str, ast.ClassDef] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = {b.id for b in node.bases if isinstance(b, ast.Name)} | {
+            b.attr for b in node.bases if isinstance(b, ast.Attribute)
+        }
+        if bases & known:
+            known.add(node.name)
+            out[node.name] = node
+    return out
+
+
+def _isinstance_targets(call: ast.Call) -> list[ast.expr]:
+    if len(call.args) != 2:
+        return []
+    second = call.args[1]
+    if isinstance(second, ast.Tuple):
+        return list(second.elts)
+    return [second]
+
+
+def _type_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class ProtocolExhaustivenessRule(Rule):
+    id = "R2"
+    name = "protocol-exhaustiveness"
+    description = (
+        "every Message subclass in manager/messages.py must be matched by a "
+        "handle() isinstance or constructed in the manager package, and every "
+        "isinstance target in handle() must be a known message class"
+    )
+    project = True
+
+    def check_project(self, modules: list[LintModule]) -> list[Finding]:
+        protocols: list[_Protocol] = []
+        for m in modules:
+            parts = PurePosixPath(m.relpath).parts
+            if m.path.name == "messages.py" and "manager" in parts:
+                protocols.append(_Protocol(m, _message_classes(m)))
+        findings: list[Finding] = []
+        for proto in protocols:
+            pkg_dir = proto.messages_module.path.parent
+            proto.package_modules = [
+                m for m in modules if m.path.parent == pkg_dir and m is not proto.messages_module
+            ]
+            findings.extend(self._check_protocol(proto))
+        return findings
+
+    def _check_protocol(self, proto: _Protocol) -> list[Finding]:
+        handled: set[str] = set()
+        constructed: set[str] = set()
+        bad_targets: list[tuple[LintModule, ast.expr, str]] = []
+
+        for m in proto.package_modules:
+            in_handle = self._handle_functions(m.tree)
+            for fn in in_handle:
+                for node in ast.walk(fn):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id == "isinstance"
+                    ):
+                        for target in _isinstance_targets(node):
+                            name = _type_name(target)
+                            if name is None:
+                                continue
+                            if name in proto.classes:
+                                handled.add(name)
+                            elif name != _BASE:
+                                bad_targets.append((m, target, name))
+            for node in ast.walk(m.tree):
+                if isinstance(node, ast.Call):
+                    name = _type_name(node.func)
+                    if name in proto.classes:
+                        constructed.add(name)
+
+        findings: list[Finding] = []
+        for name, cls in proto.classes.items():
+            if name not in handled and name not in constructed:
+                findings.append(
+                    proto.messages_module.finding(
+                        self,
+                        cls,
+                        f"message class {name} has no registered handler: no "
+                        f"handle() isinstance match and no construction site "
+                        f"in the manager package",
+                    )
+                )
+        for m, target, name in bad_targets:
+            findings.append(
+                m.finding(
+                    self,
+                    target,
+                    f"handle() matches {name}, which is not a Message subclass "
+                    f"defined in {proto.messages_module.relpath}",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _handle_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+        return [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef) and node.name == "handle"
+        ]
+
+
+__all__ = ["ProtocolExhaustivenessRule"]

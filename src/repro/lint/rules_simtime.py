@@ -1,0 +1,114 @@
+"""R3 — sim-time purity: no wall clock or unseeded randomness.
+
+The DES owns time: a simulation consulting ``time.time()`` or
+``datetime.now()`` produces results that depend on when it ran, and the
+module-level ``random``/legacy ``numpy.random`` APIs draw from ambient
+global state that no seed in the experiment config controls.  Both
+destroy the bit-for-bit reproducibility the experiment harness asserts.
+
+Allowed on purpose:
+
+- ``time.perf_counter`` / ``perf_counter_ns`` / ``process_time`` —
+  profiling reads that never feed simulation state;
+- ``random.Random(seed)`` / ``random.SystemRandom`` instances — the
+  caller owns the stream;
+- ``numpy.random.default_rng(seed)`` / ``Generator`` / ``SeedSequence``
+  — flagged only when called with *no* arguments (unseeded).
+
+Excluded scopes: ``obs`` (wall-clock timestamps are its job),
+``experiments`` (report metadata), and this package.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+
+from .astutil import ImportTracker
+from .engine import LintModule, Rule
+from .findings import Finding
+
+#: path parts exempting a module from the rule
+_EXEMPT_PARTS = frozenset({"obs", "experiments", "lint"})
+
+_WALL_CLOCK = frozenset({"time.time", "time.time_ns"})
+_DATETIME_BANNED = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+_RANDOM_ALLOWED = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng", "Generator", "SeedSequence", "RandomState",
+        "PCG64", "MT19937", "Philox", "SFC64", "BitGenerator",
+    }
+)
+#: allowed constructors that are still unseeded when called with no args
+_NEEDS_SEED = frozenset({"numpy.random.default_rng", "numpy.random.RandomState"})
+
+
+class SimTimePurityRule(Rule):
+    id = "R3"
+    name = "sim-time-purity"
+    description = (
+        "no wall-clock reads (time.time, datetime.now) or unseeded/global "
+        "randomness (random.*, legacy numpy.random.*) in DES-managed code"
+    )
+
+    def check(self, module: LintModule) -> list[Finding]:
+        parts = set(PurePosixPath(module.relpath).parts)
+        if parts & _EXEMPT_PARTS:
+            return []
+        imports = ImportTracker(module.tree)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = imports.qualified(node.func)
+            if path is None:
+                continue
+            message = self._verdict(path, node)
+            if message is not None:
+                findings.append(module.finding(self, node, message))
+        return findings
+
+    @staticmethod
+    def _verdict(path: str, call: ast.Call) -> str | None:
+        if path in _WALL_CLOCK:
+            return (
+                f"{path}() reads the wall clock inside DES-managed code; "
+                f"use the engine's simulation time (time.perf_counter is "
+                f"fine for profiling)"
+            )
+        if path in _DATETIME_BANNED:
+            return (
+                f"{path}() reads the wall clock inside DES-managed code; "
+                f"derive timestamps from simulation time"
+            )
+        if path.startswith("random."):
+            tail = path.split(".", 1)[1]
+            if "." not in tail and tail not in _RANDOM_ALLOWED:
+                return (
+                    f"{path}() draws from the global random stream; use a "
+                    f"seeded random.Random(seed) instance"
+                )
+        if path in _NEEDS_SEED and not call.args and not call.keywords:
+            return (
+                f"{path}() without a seed is entropy-seeded; pass the "
+                f"experiment seed explicitly"
+            )
+        if path.startswith("numpy.random."):
+            tail = path.split("numpy.random.", 1)[1]
+            if "." not in tail and tail not in _NP_RANDOM_ALLOWED:
+                return (
+                    f"{path}() uses the legacy global numpy random state; "
+                    f"use numpy.random.default_rng(seed)"
+                )
+        return None
+
+
+__all__ = ["SimTimePurityRule"]

@@ -1,0 +1,289 @@
+"""R1 — mutating methods of versioned classes must bump the version.
+
+A *versioned class* is one defining a ``_bump_version`` method (the
+:class:`~repro.economy.bank.Bank` pattern: downstream caches key on the
+counter, so any unannounced mutation silently serves stale topology to
+every later allocation).  For each public method the rule gathers
+*mutation evidence* and *bump evidence*, both propagated transitively
+through same-class method calls, and flags methods with the former but
+not the latter.
+
+Mutation evidence:
+
+- stores into ``self`` state (``self.x = ...``, ``self.x[k] = ...``,
+  ``del self.x[k]``), except attributes whose name contains ``cache`` or
+  is ``_hash`` — derived state is version-*neutral* by design;
+- stores into locals that alias ``self`` state (``t = self.ticket(i);
+  t.revoked = True``) — locals bound to fresh objects (constructor
+  calls, literals, comprehensions) are exempt;
+- mutator-method calls (``append``/``update``/``inflate``/...) on either.
+
+Bump evidence: a ``self._bump_version()`` call, direct or via a called
+method of the same class.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from .astutil import is_self_rooted
+from .engine import LintModule, Rule
+from .findings import Finding
+
+#: method names whose call mutates the receiver
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "add", "discard", "setdefault", "sort", "reverse",
+        "inflate", "push",
+    }
+)
+
+#: decorators excluding a method from the public-mutator contract
+_SKIPPED_DECORATORS = frozenset({"property", "cached_property", "staticmethod"})
+
+
+def _chain_attrs(node: ast.expr) -> list[str]:
+    attrs: list[str] = []
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+        node = node.value
+    return attrs
+
+
+def _cache_exempt(node: ast.expr) -> bool:
+    return any("cache" in a or a == "_hash" for a in _chain_attrs(node))
+
+
+def _walk_no_nested(node: ast.AST) -> Iterator[ast.AST]:
+    """ast.walk that does not descend into nested function bodies."""
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        for child in ast.iter_child_nodes(cur):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+@dataclass
+class _MethodFacts:
+    bumps: bool = False
+    self_calls: set[str] = field(default_factory=set)
+    #: first direct mutation evidence node, if any
+    evidence: ast.AST | None = None
+
+
+class _MethodScanner:
+    """Linear, order-respecting scan of one method body."""
+
+    def __init__(self) -> None:
+        self.facts = _MethodFacts()
+        #: local name -> "self" | "fresh" | "unknown"
+        self._origin: dict[str, str] = {}
+
+    # -- origin tracking ----------------------------------------------------
+
+    def _classify(self, value: ast.expr | None) -> str:
+        if value is None:
+            return "unknown"
+        if is_self_rooted(value):
+            return "self"
+        if isinstance(value, ast.Name):
+            return self._origin.get(value.id, "unknown")
+        if isinstance(
+            value,
+            (
+                ast.Call, ast.Constant, ast.List, ast.Dict, ast.Set, ast.Tuple,
+                ast.ListComp, ast.DictComp, ast.SetComp, ast.GeneratorExp,
+                ast.BinOp, ast.UnaryOp, ast.IfExp, ast.Compare, ast.JoinedStr,
+            ),
+        ):
+            return "fresh"
+        return "unknown"
+
+    def _bind(self, target: ast.expr, origin: str) -> None:
+        if isinstance(target, ast.Name):
+            self._origin[target.id] = origin
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, "unknown")
+
+    def _aliases_self(self, node: ast.expr) -> bool:
+        """Does this store/call target reach self state (directly or via
+        a local bound to it)?"""
+        if is_self_rooted(node):
+            return not _cache_exempt(node)
+        root = node
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if isinstance(root, ast.Name) and self._origin.get(root.id) == "self":
+            return not _cache_exempt(node)
+        return False
+
+    # -- evidence -----------------------------------------------------------
+
+    def _note_mutation(self, node: ast.AST) -> None:
+        if self.facts.evidence is None:
+            self.facts.evidence = node
+
+    def _scan_calls(self, node: ast.AST) -> None:
+        for sub in _walk_no_nested(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                if func.attr == "_bump_version":
+                    self.facts.bumps = True
+                else:
+                    self.facts.self_calls.add(func.attr)
+            if func.attr in MUTATOR_METHODS and self._aliases_self(func.value):
+                self._note_mutation(sub)
+
+    def _store(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)) and self._aliases_self(
+            target
+        ):
+            self._note_mutation(target)
+
+    # -- statements ---------------------------------------------------------
+
+    def scan_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt)
+
+    def _scan_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_calls(stmt.value)
+            origin = self._classify(stmt.value)
+            for target in stmt.targets:
+                self._store(target)
+                self._bind(target, origin)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_calls(stmt.value)
+            self._store(stmt.target)
+            self._bind(stmt.target, self._classify(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._scan_calls(stmt.value)
+            self._store(stmt.target)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._scan_calls(target)
+                self._store(target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_calls(stmt.iter)
+            self._bind(stmt.target, self._classify(stmt.iter))
+            self.scan_body(stmt.body)
+            self.scan_body(stmt.orelse)
+        elif isinstance(stmt, (ast.While, ast.If)):
+            self._scan_calls(stmt.test)
+            self.scan_body(stmt.body)
+            self.scan_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_calls(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, self._classify(item.context_expr))
+            self.scan_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.scan_body(stmt.body)
+            for handler in stmt.handlers:
+                self.scan_body(handler.body)
+            self.scan_body(stmt.orelse)
+            self.scan_body(stmt.finalbody)
+        else:
+            self._scan_calls(stmt)
+
+
+def _is_versioned(cls: ast.ClassDef) -> bool:
+    return any(
+        isinstance(n, ast.FunctionDef) and n.name == "_bump_version" for n in cls.body
+    )
+
+
+def _decorator_names(fn: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in fn.decorator_list:
+        node = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+class VersionBumpRule(Rule):
+    id = "R1"
+    name = "version-bump"
+    description = (
+        "public methods of versioned classes (those defining _bump_version) "
+        "that mutate state must call self._bump_version()"
+    )
+
+    def check(self, module: LintModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_versioned(node):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(self, module: LintModule, cls: ast.ClassDef) -> list[Finding]:
+        methods = {
+            n.name: n for n in cls.body if isinstance(n, ast.FunctionDef)
+        }
+        facts: dict[str, _MethodFacts] = {}
+        for name, fn in methods.items():
+            scanner = _MethodScanner()
+            scanner.scan_body(fn.body)
+            facts[name] = scanner.facts
+
+        # Propagate bump and mutation evidence through same-class calls
+        # to a fixpoint, so `deposit_capacity -> _register -> _bump_version`
+        # chains resolve without annotations.
+        bumps = {name: f.bumps for name, f in facts.items()}
+        mutates = {name: f.evidence is not None for name, f in facts.items()}
+        changed = True
+        while changed:
+            changed = False
+            for name, f in facts.items():
+                for callee in f.self_calls:
+                    if callee not in facts:
+                        continue
+                    if bumps[callee] and not bumps[name]:
+                        bumps[name] = changed = True
+                    if mutates[callee] and not mutates[name]:
+                        mutates[name] = changed = True
+
+        findings: list[Finding] = []
+        for name, fn in methods.items():
+            if name.startswith("_"):
+                continue
+            if _decorator_names(fn) & _SKIPPED_DECORATORS:
+                continue
+            if mutates[name] and not bumps[name]:
+                at = facts[name].evidence or fn
+                findings.append(
+                    module.finding(
+                        self,
+                        at,
+                        f"method {cls.name}.{name}() mutates state without "
+                        f"bumping the version; call self._bump_version() "
+                        f"before returning",
+                    )
+                )
+        return findings
+
+
+__all__ = ["VersionBumpRule", "MUTATOR_METHODS"]

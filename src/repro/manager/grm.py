@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import sanitize as _sanitize
 from ..allocation.lp_allocator import allocate_lp
 from ..economy.bank import Bank
 from ..errors import (
@@ -225,6 +226,15 @@ class GlobalResourceManager:
                 )
                 if obs.enabled:
                     dec.set(capacities_after=self._named(allocation.new_C))
+                if _sanitize.enabled():
+                    # Grant epilogue: the split on the wire conserves the
+                    # granted amount, capacities only shrank, and the bank
+                    # did not drift at a constant version.
+                    _sanitize.check_grant(takes, allocation.satisfied)
+                    _sanitize.check_allocation(
+                        live.capacities(msg.level), allocation
+                    )
+                    _sanitize.check_bank(self.bank)
                 # Update cached availability until fresh reports arrive, and
                 # remember the grant so a release can restore it.
                 vec = self._avail_vector(msg.resource_type)
